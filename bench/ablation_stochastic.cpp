@@ -1,0 +1,147 @@
+// A2 — ablation against the related-work baseline (paper Sec. 2, ref [6]):
+// stochastic traffic generators (uniform / Poisson / bursty arrival
+// processes) versus the trace-driven reactive TG.
+//
+// Each stochastic generator is tuned to first-order statistics measured from
+// the real workload's traces (transaction count, read fraction, burst
+// fraction, mean inter-transaction gap) — the best case for a
+// distribution-based model. The harness then compares what each generator
+// predicts about the interconnect: execution time, bus busy fraction,
+// contention, and mean read latency. The paper's claim, made quantitative:
+// matching average load is not enough, because real SoC traffic is reactive
+// and bursty in a correlated way that distributions miss.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace tgsim;
+using namespace tgsim::bench;
+
+namespace {
+
+struct Metrics {
+    Cycle cycles = 0;
+    double bus_busy_frac = 0;
+    u64 contention = 0;
+    double mean_read_latency = 0;
+    u64 transactions = 0;
+};
+
+Metrics metrics_from(platform::Platform& p, const platform::RunResult& res) {
+    Metrics m;
+    m.cycles = res.cycles;
+    m.bus_busy_frac = static_cast<double>(p.interconnect().busy_cycles()) /
+                      static_cast<double>(p.kernel().now());
+    m.contention = p.interconnect().contention_cycles();
+    u64 reads = 0;
+    u64 lat = 0;
+    for (const auto& t : p.traces()) {
+        m.transactions += t.events.size();
+        for (const auto& ev : t.events) {
+            if (!ocp::is_read(ev.cmd)) continue;
+            ++reads;
+            lat += ev.t_resp_last - ev.t_assert;
+        }
+    }
+    m.mean_read_latency = reads ? static_cast<double>(lat) / reads : 0.0;
+    return m;
+}
+
+void print_row(const char* name, const Metrics& m, const Metrics* ref) {
+    std::printf("%-16s %9llu", name, static_cast<unsigned long long>(m.cycles));
+    if (ref != nullptr)
+        std::printf(" (%+6.1f%%)", err_pct(ref->cycles, m.cycles));
+    else
+        std::printf("          ");
+    std::printf("  %5.1f%%   %8llu   %6.2f\n", 100.0 * m.bus_busy_frac,
+                static_cast<unsigned long long>(m.contention),
+                m.mean_read_latency);
+}
+
+} // namespace
+
+int main() {
+    const u32 k = scale();
+    const u32 cores = 4;
+    const apps::Workload w = apps::make_mp_matrix({cores, 16 * k});
+    platform::PlatformConfig cfg;
+    cfg.n_cores = cores;
+    cfg.ic = platform::IcKind::Amba;
+    cfg.collect_traces = true;
+
+    // --- ground truth ---
+    platform::Platform ref{cfg};
+    ref.load_workload(w);
+    const auto ref_res = ref.run(kMaxCycles);
+    const Metrics ref_m = metrics_from(ref, ref_res);
+
+    // --- trace-driven reactive TG ---
+    const auto programs = translate_all(ref.traces(), w);
+    platform::Platform tgp{cfg};
+    tgp.load_tg_programs(programs, w);
+    const auto tg_res = tgp.run(kMaxCycles);
+    const Metrics tg_m = metrics_from(tgp, tg_res);
+
+    // --- stochastic baselines tuned to the measured first-order stats ---
+    const auto stochastic_metrics = [&](tg::ArrivalProcess proc) {
+        std::vector<tg::StochasticConfig> cfgs;
+        for (u32 i = 0; i < cores; ++i) {
+            const tg::Trace& t = ref.traces()[i];
+            u64 reads = 0, bursts = 0;
+            for (const auto& ev : t.events) {
+                if (ocp::is_read(ev.cmd)) ++reads;
+                if (ocp::is_burst(ev.cmd)) ++bursts;
+            }
+            tg::StochasticConfig sc;
+            sc.seed = 1234 + i;
+            sc.process = proc;
+            sc.total_transactions = t.events.size();
+            sc.read_fraction =
+                static_cast<double>(reads) / static_cast<double>(t.events.size());
+            sc.burst_fraction = static_cast<double>(bursts) /
+                                static_cast<double>(t.events.size());
+            sc.burst_len = 4;
+            const double mean_gap =
+                static_cast<double>(t.end_cycle) /
+                static_cast<double>(t.events.size());
+            sc.min_gap = 1;
+            sc.max_gap = static_cast<u32>(2.0 * mean_gap);
+            sc.rate = 1.0 / mean_gap;
+            sc.train_len = 8;
+            sc.intra_gap = 2;
+            sc.inter_gap = static_cast<u32>(8.0 * mean_gap);
+            // Target mix mirroring the app: shared data, own private line
+            // refills, semaphore.
+            sc.targets = {
+                {platform::kSharedBase + platform::kSharedData, 0x4000, 6},
+                {platform::priv_base(i) + platform::kPrivScratch, 0x400, 2},
+                {platform::sem_addr(0), 4, 1},
+            };
+            cfgs.push_back(sc);
+        }
+        platform::Platform sp{cfg};
+        sp.load_stochastic(cfgs, w);
+        const auto res = sp.run(kMaxCycles);
+        return metrics_from(sp, res);
+    };
+
+    std::printf("=== Ablation: stochastic TG baseline vs trace-driven TG ===\n");
+    std::printf("(MP matrix %uP on AMBA; stochastic generators tuned to the real\n"
+                " workload's transaction count, read/burst mix and mean gap)\n\n",
+                cores);
+    std::printf("generator          cycles (err)      bus busy  contention  mean RD lat\n");
+    print_row("CPU reference", ref_m, nullptr);
+    print_row("reactive TG", tg_m, &ref_m);
+    print_row("stoch uniform", stochastic_metrics(tg::ArrivalProcess::Uniform),
+              &ref_m);
+    print_row("stoch poisson", stochastic_metrics(tg::ArrivalProcess::Poisson),
+              &ref_m);
+    print_row("stoch bursty", stochastic_metrics(tg::ArrivalProcess::Bursty),
+              &ref_m);
+    std::printf(
+        "\nExpected (paper Sec. 2): the trace-driven TG matches the reference\n"
+        "almost exactly; the stochastic models—despite matched averages—miss\n"
+        "the correlated, reactive structure, so their execution-time and\n"
+        "contention estimates are unreliable for optimising NoC features.\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+// A1 — ablation over the traffic-modelling taxonomy of paper Sec. 3:
+// cloning vs timeshifting vs reactive TGs.
+//
+// Traces are collected once on AMBA; each translator mode produces TG
+// programs that are then replayed on AMBA (the traced fabric), the crossbar
+// and the ×pipes mesh. For every target fabric a real CPU reference run
+// provides ground truth. The paper's argument, made quantitative: cloning
+// breaks as soon as latencies change; timeshifting adapts to latency but
+// replays the wrong amount of polling traffic; the reactive TG stays
+// accurate everywhere.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace tgsim;
+using namespace tgsim::bench;
+
+int main() {
+    const u32 k = scale();
+    const u32 cores = 4;
+    const apps::Workload w = apps::make_mp_matrix({cores, 16 * k});
+
+    platform::PlatformConfig traced_cfg;
+    traced_cfg.n_cores = cores;
+    traced_cfg.ic = platform::IcKind::Amba;
+    const TimedRun ref_amba = run_cpu(w, traced_cfg, /*traced=*/true);
+
+    const platform::IcKind targets[] = {platform::IcKind::Amba,
+                                        platform::IcKind::Crossbar,
+                                        platform::IcKind::Xpipes};
+    const tg::TgMode modes[] = {tg::TgMode::Clone, tg::TgMode::Timeshift,
+                                tg::TgMode::Reactive};
+
+    std::printf("=== Ablation: TG fidelity modes (traced on AMBA, MP matrix %uP) ===\n\n",
+                cores);
+    std::printf("target      CPU truth ");
+    for (const auto m : modes)
+        std::printf("| %-9s err%%  ", std::string(tg::to_string(m)).c_str());
+    std::printf("\n");
+
+    for (const auto target : targets) {
+        platform::PlatformConfig tcfg;
+        tcfg.n_cores = cores;
+        tcfg.ic = target;
+        const Cycle truth = (target == platform::IcKind::Amba)
+                                ? ref_amba.result.cycles
+                                : run_cpu(w, tcfg, false).result.cycles;
+        std::printf("%-10s %10llu ",
+                    std::string(platform::to_string(target)).c_str(),
+                    static_cast<unsigned long long>(truth));
+        for (const auto mode : modes) {
+            const auto programs = translate_all(ref_amba.traces, w, mode);
+            const auto run = run_tg(programs, w, tcfg);
+            std::printf("| %9llu %+6.2f ",
+                        static_cast<unsigned long long>(run.cycles),
+                        err_pct(truth, run.cycles));
+        }
+        std::printf("\n");
+    }
+
+    std::printf(
+        "\nExpected: on the traced fabric (AMBA) every mode is near-exact; on\n"
+        "the other fabrics clone/timeshift predictions drift (wrong polling\n"
+        "traffic, absolute-time anchors) while the reactive TG tracks the\n"
+        "CPU ground truth closely — the paper's case for reactive TGs.\n");
+    return 0;
+}

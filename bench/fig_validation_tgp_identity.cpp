@@ -1,0 +1,67 @@
+// E2 — reproduces the paper's first experiment (Sec. 6): "We ran the same
+// benchmarks over AMBA and ×pipes, noticing very different execution times
+// ... However, after translation, a check across .tgp programs showed no
+// difference at all."
+//
+// For every benchmark the harness traces the reference workload on all three
+// interconnects, translates each set of traces, and byte-compares the
+// resulting canonical .tgp programs.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace tgsim;
+using namespace tgsim::bench;
+
+namespace {
+
+struct Probe {
+    Cycle cycles = 0;
+    std::vector<std::string> tgp;
+};
+
+Probe probe(const apps::Workload& w, u32 cores, platform::IcKind ic) {
+    platform::PlatformConfig cfg;
+    cfg.n_cores = cores;
+    cfg.ic = ic;
+    const TimedRun run = run_cpu(w, cfg, /*traced=*/true);
+    Probe out;
+    out.cycles = run.result.cycles;
+    for (const auto& prog : translate_all(run.traces, w))
+        out.tgp.push_back(tg::to_text(prog));
+    return out;
+}
+
+void report(const char* name, const apps::Workload& w, u32 cores) {
+    const Probe amba = probe(w, cores, platform::IcKind::Amba);
+    const Probe xbar = probe(w, cores, platform::IcKind::Crossbar);
+    const Probe mesh = probe(w, cores, platform::IcKind::Xpipes);
+    bool identical = true;
+    for (u32 i = 0; i < cores; ++i)
+        identical = identical && amba.tgp[i] == xbar.tgp[i] &&
+                    amba.tgp[i] == mesh.tgp[i];
+    std::printf("%-10s %3uP  %10llu %10llu %10llu    %s\n", name, cores,
+                static_cast<unsigned long long>(amba.cycles),
+                static_cast<unsigned long long>(xbar.cycles),
+                static_cast<unsigned long long>(mesh.cycles),
+                identical ? "IDENTICAL" : "DIFFERENT (!)");
+}
+
+} // namespace
+
+int main() {
+    const u32 k = scale();
+    std::printf("=== Validation: cross-interconnect .tgp identity (Sec. 6) ===\n\n");
+    std::printf("benchmark  #IPs   exec cycles on ...                .tgp programs\n");
+    std::printf("                  AMBA      crossbar    xpipes\n");
+    report("SP matrix", apps::make_sp_matrix({16 * k}), 1);
+    report("Cacheloop", apps::make_cacheloop({4, 20000 * k}), 4);
+    report("MP matrix", apps::make_mp_matrix({4, 12 * k}), 4);
+    report("DES", apps::make_des({4, 4 * k}), 4);
+    std::printf("\nExpected (paper): execution times differ across fabrics, yet every\n"
+                "translated TG program is byte-identical — traces capture only\n"
+                "core-intrinsic think time, never network latency.\n");
+    return 0;
+}

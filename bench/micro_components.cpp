@@ -1,0 +1,153 @@
+// M1 — google-benchmark microbenchmarks for the simulator components:
+// kernel tick dispatch, ISS and TG cycle costs (the ratio is the root of the
+// paper's speedup), interconnect cycle costs, and the TG tool flow
+// (translation, assembly, text round-trip).
+#include <benchmark/benchmark.h>
+
+#include "apps/apps.hpp"
+#include "bench_util.hpp"
+#include "platform/platform.hpp"
+#include "tg/program.hpp"
+#include "tg/translator.hpp"
+
+using namespace tgsim;
+
+namespace {
+
+// --- kernel dispatch ---
+
+class NopClocked final : public sim::Clocked {
+public:
+    void eval() override { benchmark::DoNotOptimize(x_ += 1); }
+    void update() override { benchmark::DoNotOptimize(x_ += 1); }
+
+private:
+    u64 x_ = 0;
+};
+
+void BM_KernelTick16Components(benchmark::State& state) {
+    sim::Kernel k;
+    std::vector<std::unique_ptr<NopClocked>> comps;
+    for (int i = 0; i < 16; ++i) {
+        comps.push_back(std::make_unique<NopClocked>());
+        k.add(*comps.back(), i % 4);
+    }
+    for (auto _ : state) k.tick();
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 16);
+}
+BENCHMARK(BM_KernelTick16Components);
+
+// --- ISS vs TG cycle cost (the speedup source) ---
+
+void BM_CpuCoreCyclesPerSecond(benchmark::State& state) {
+    const auto w = apps::make_cacheloop({1, 1u << 30}); // effectively endless
+    platform::PlatformConfig cfg;
+    cfg.n_cores = 1;
+    platform::Platform p{cfg};
+    p.load_workload(w);
+    p.kernel().run(100); // warm the I$
+    for (auto _ : state) p.kernel().tick();
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_CpuCoreCyclesPerSecond);
+
+void BM_TgCoreCyclesPerSecond(benchmark::State& state) {
+    // A TG spending its time in a long Idle — the common case when it
+    // replaces a compute-bound core.
+    tg::TgProgram prog;
+    tg::TgInstr idle;
+    idle.op = tg::TgOp::Idle;
+    idle.imm = 0x7FFFFFFF;
+    tg::TgInstr halt;
+    halt.op = tg::TgOp::Halt;
+    prog.instrs = {idle, halt};
+    const auto w = apps::make_cacheloop({1, 10});
+    platform::PlatformConfig cfg;
+    cfg.n_cores = 1;
+    platform::Platform p{cfg};
+    p.load_tg_programs({prog}, w);
+    p.kernel().run(10);
+    for (auto _ : state) p.kernel().tick();
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_TgCoreCyclesPerSecond);
+
+// --- interconnect cycle costs under load ---
+
+template <platform::IcKind Kind>
+void BM_InterconnectCycle(benchmark::State& state) {
+    const auto w = apps::make_mp_matrix({4, 16});
+    platform::PlatformConfig cfg;
+    cfg.n_cores = 4;
+    cfg.ic = Kind;
+    platform::Platform p{cfg};
+    p.load_workload(w);
+    p.kernel().run(2000); // into the contended phase
+    for (auto _ : state) p.kernel().tick();
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_InterconnectCycle<platform::IcKind::Amba>)->Name("BM_PlatformCycle_Amba4P");
+BENCHMARK(BM_InterconnectCycle<platform::IcKind::Crossbar>)->Name("BM_PlatformCycle_Crossbar4P");
+BENCHMARK(BM_InterconnectCycle<platform::IcKind::Xpipes>)->Name("BM_PlatformCycle_Xpipes4P");
+
+// --- TG tool flow ---
+
+tg::Trace sample_trace() {
+    tg::Trace t;
+    Cycle cyc = 10;
+    for (u32 i = 0; i < 2000; ++i) {
+        tg::TraceEvent ev;
+        ev.cmd = (i % 3 == 0) ? ocp::Cmd::Write : ocp::Cmd::Read;
+        ev.addr = 0x20000000u + 4 * (i % 64);
+        ev.data = {i};
+        ev.t_assert = cyc;
+        ev.t_accept = cyc + 2;
+        if (ocp::is_read(ev.cmd)) {
+            ev.t_resp_first = ev.t_resp_last = cyc + 6;
+            cyc = ev.t_resp_last + 5;
+        } else {
+            cyc = ev.t_accept + 5;
+        }
+        t.events.push_back(std::move(ev));
+    }
+    t.end_cycle = cyc + 10;
+    return t;
+}
+
+void BM_TranslatorEventsPerSecond(benchmark::State& state) {
+    const tg::Trace trace = sample_trace();
+    tg::TranslateOptions opt;
+    for (auto _ : state) {
+        auto res = tg::translate(trace, opt);
+        benchmark::DoNotOptimize(res.program.instrs.size());
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                            static_cast<i64>(trace.events.size()));
+}
+BENCHMARK(BM_TranslatorEventsPerSecond);
+
+void BM_AssembleProgram(benchmark::State& state) {
+    const tg::Trace trace = sample_trace();
+    const auto prog = tg::translate(trace, {}).program;
+    for (auto _ : state) {
+        auto image = tg::assemble(prog);
+        benchmark::DoNotOptimize(image.size());
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                            static_cast<i64>(prog.instrs.size()));
+}
+BENCHMARK(BM_AssembleProgram);
+
+void BM_TgpTextRoundTrip(benchmark::State& state) {
+    const auto prog = tg::translate(sample_trace(), {}).program;
+    for (auto _ : state) {
+        const std::string text = tg::to_text(prog);
+        auto back = tg::program_from_text(text);
+        benchmark::DoNotOptimize(back.instrs.size());
+    }
+}
+BENCHMARK(BM_TgpTextRoundTrip);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// E1 — reproduces paper Table 2: "TG vs. ARM performance with AMBA".
+//
+// For every benchmark and core count the harness runs (1) a plain cycle-true
+// reference simulation with CPU cores, timed; (2) a traced reference run to
+// produce TG programs; (3) the TG simulation, timed. It reports cumulative
+// execution cycles of both platforms, the accuracy error, both wall-clock
+// simulation times and the speedup gain — the same columns the paper prints.
+//
+// The paper's platform (MPARM) clocks every component every cycle, so the
+// primary "Gain" column is measured with tgsim's kernel in the same mode
+// (quiescence skipping disabled). The extra starred columns show the same TG
+// simulation under the event-driven shortcut (Clocked::quiet_for), where a
+// platform whose TGs all sit in long Idle waits fast-forwards — cycle counts
+// are bit-identical, only wall time changes.
+//
+// Expected shape versus the paper: error ~0% (<= ~1.5% in the contended
+// multiprocessor rows), gain >= ~1.5-2x, Cacheloop gain growing with core
+// count, MP-matrix/DES gain shrinking once the bus saturates. Absolute cycle
+// counts and times differ (different ISA, memory timings and host); see
+// EXPERIMENTS.md.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace tgsim;
+using namespace tgsim::bench;
+
+namespace {
+
+struct Row {
+    u32 cores;
+    Cycle arm_cycles;
+    Cycle tg_cycles;
+    double arm_secs;
+    double tg_secs;
+    double tg_secs_event; ///< TG run with quiescence skipping
+};
+
+Row run_row(const apps::Workload& w, u32 cores) {
+    platform::PlatformConfig cfg;
+    cfg.n_cores = cores;
+    cfg.ic = platform::IcKind::Amba;
+    cfg.max_idle_skip = 0; // clocked-kernel mode (paper-faithful costs)
+
+    const TimedRun plain = run_cpu(w, cfg, /*traced=*/false);
+    platform::PlatformConfig trace_cfg = cfg;
+    trace_cfg.max_idle_skip = 1u << 20; // tracing run: speed doesn't matter
+    const TimedRun traced = run_cpu(w, trace_cfg, /*traced=*/true);
+    const auto programs = translate_all(traced.traces, w);
+
+    const auto tg_cycle_mode = run_tg(programs, w, cfg);
+    platform::PlatformConfig event_cfg = cfg;
+    event_cfg.max_idle_skip = 1u << 20;
+    const auto tg_event_mode = run_tg(programs, w, event_cfg);
+
+    if (tg_cycle_mode.cycles != tg_event_mode.cycles) {
+        std::fprintf(stderr, "FATAL: skip changed results (%s)\n",
+                     w.name.c_str());
+        std::exit(1);
+    }
+    return Row{cores,
+               plain.result.cycles,
+               tg_cycle_mode.cycles,
+               plain.result.wall_seconds,
+               tg_cycle_mode.wall_seconds,
+               tg_event_mode.wall_seconds};
+}
+
+void print_row(const Row& r) {
+    std::printf(
+        "%3uP  %12llu %12llu %+7.2f%%   %7.3f s %7.3f s %6.2fx  | %8.4f s %8.1fx\n",
+        r.cores, static_cast<unsigned long long>(r.arm_cycles),
+        static_cast<unsigned long long>(r.tg_cycles),
+        err_pct(r.arm_cycles, r.tg_cycles), r.arm_secs, r.tg_secs,
+        r.arm_secs / r.tg_secs, r.tg_secs_event,
+        r.arm_secs / r.tg_secs_event);
+}
+
+void header(const char* name) {
+    std::printf("%s:\n", name);
+    std::printf("#IPs    ARM cycles    TG cycles    Error    ARM time  TG time   Gain  | TG time*    Gain*\n");
+}
+
+} // namespace
+
+int main() {
+    const u32 k = scale();
+    std::printf("=== Table 2: TG vs. ARM performance with AMBA ===\n");
+    std::printf("(paper: Mahadevan et al., DATE'05 — columns reproduced; scale=%u;\n"
+                " starred columns: event-driven kernel with quiescence skipping)\n\n",
+                k);
+
+    header("SP matrix");
+    print_row(run_row(apps::make_sp_matrix({64 * k}), 1));
+    std::printf("\n");
+
+    header("Cacheloop");
+    for (const u32 p : {2u, 4u, 6u, 8u, 10u, 12u})
+        print_row(run_row(apps::make_cacheloop({p, 1000000 * k}), p));
+    std::printf("\n");
+
+    header("MP matrix");
+    for (const u32 p : {2u, 4u, 6u, 8u, 10u, 12u})
+        print_row(run_row(apps::make_mp_matrix({p, 48 * k}), p));
+    std::printf("\n");
+
+    header("DES");
+    for (const u32 p : {3u, 4u, 6u, 8u, 10u, 12u})
+        print_row(run_row(apps::make_des({p, 96 * k}), p));
+    std::printf("\n");
+
+    std::printf(
+        "Expected shape (paper): error 0.00%%-1.5%%; gain > 1 everywhere;\n"
+        "Cacheloop gain grows with #IPs (TGs eliminate all core work);\n"
+        "MP matrix / DES gain shrinks at high #IPs as the AMBA bus saturates\n"
+        "and the replaced cores were mostly idle-waiting anyway.\n"
+        "The starred event-driven gain explodes for Cacheloop because the\n"
+        "whole TG platform becomes quiescent between refills - an advantage\n"
+        "clocked SystemC platforms (like the paper's) could not exploit.\n");
+    return 0;
+}

@@ -1,0 +1,111 @@
+// Hand-written TG programs (paper Sec. 7: "The TG might be used in
+// association with manually written programs to generate traffic patterns
+// typical of IP cores still in the design phase").
+//
+// Two synthetic IP cores are described directly in .tgp text — a DMA-style
+// streaming engine and a control processor polling a doorbell semaphore —
+// assembled, and run against the AMBA bus and the ×pipes mesh to compare
+// how the planned traffic behaves on each fabric.
+#include <cstdio>
+#include <string>
+
+#include "apps/apps.hpp"
+#include "platform/platform.hpp"
+#include "tg/program.hpp"
+
+using namespace tgsim;
+
+namespace {
+
+// A DMA-like streamer: bursts blocks from shared memory into its private
+// buffer, then rings the doorbell (writes the semaphore) and stops.
+std::string streamer_tgp(u32 blocks) {
+    std::string body;
+    body += "; streaming DMA model (hand-written)\n";
+    body += "MASTER[0,0]\n";
+    body += "REGISTER r1 0x20001000\n"; // shared source
+    body += "REGISTER r2 0x10008000\n"; // private destination
+    body += "REGISTER r4 0x30000004\n"; // doorbell semaphore
+    body += "REGISTER r5 0x00000001\n";
+    body += "BEGIN\n";
+    for (u32 b = 0; b < blocks; ++b) {
+        body += "  BurstRead(r1, 8)\n";
+        body += "  Idle(4)\n";
+        // Model the engine turning the data around: write the last beat
+        // somewhere visible, then advance the pointers.
+        body += "  Write(r2, r0)\n";
+        body += "  SetRegister(r1, " + std::to_string(0x20001000 + 32 * (b + 1)) + ")\n";
+        body += "  SetRegister(r2, " + std::to_string(0x10008000 + 4 * (b + 1)) + ")\n";
+        body += "  Idle(12)\n";
+    }
+    body += "  Write(r4, r5)\n"; // ring the doorbell (release semaphore)
+    body += "  Halt\n";
+    body += "END\n";
+    return body;
+}
+
+// A control-processor model: waits on the doorbell, then reads back a
+// status block and halts.
+std::string controller_tgp() {
+    return R"(; control processor model (hand-written)
+MASTER[1,0]
+REGISTER r1 0x30000004
+REGISTER r3 0x00000000
+REGISTER r2 0x20001100
+BEGIN
+  Idle(20)
+doorbell:
+  Idle(3)
+  Read(r1)
+  If(r0 == r3) then doorbell
+  SetRegister(r1, 0x20001100)
+  BurstRead(r1, 4)
+  Idle(8)
+  Halt
+END
+)";
+}
+
+void run_on(platform::IcKind ic, const std::vector<tg::TgProgram>& progs) {
+    platform::PlatformConfig cfg;
+    cfg.n_cores = 2;
+    cfg.ic = ic;
+    cfg.collect_traces = true;
+    // The doorbell starts locked: the streamer releases it when done.
+    platform::Platform p{cfg};
+    apps::Workload env; // empty environment: no code, no checks
+    env.cores.resize(2);
+    p.load_tg_programs(progs, env);
+    p.semaphores().poke(1, 0); // doorbell (index 1) busy until rung
+    const auto res = p.run(1'000'000);
+    u64 polls = 0;
+    for (const auto& ev : p.traces()[1].events)
+        if (ev.cmd == ocp::Cmd::Read && ev.addr == platform::sem_addr(1))
+            ++polls;
+    std::printf("%-8s: completed=%d  total %6llu cycles;  controller doorbell reads: %llu\n",
+                std::string(platform::to_string(ic)).c_str(), res.completed,
+                static_cast<unsigned long long>(res.cycles),
+                static_cast<unsigned long long>(polls));
+}
+
+} // namespace
+
+int main() {
+    const std::string streamer = streamer_tgp(12);
+    const std::string controller = controller_tgp();
+    std::printf("=== hand-written TG programs (IP cores still in design) ===\n\n");
+    std::printf("--- streamer.tgp (head) ---\n%.*s...\n\n", 300, streamer.c_str());
+    std::printf("--- controller.tgp ---\n%s\n", controller.c_str());
+
+    std::vector<tg::TgProgram> progs;
+    progs.push_back(tg::program_from_text(streamer));
+    progs.push_back(tg::program_from_text(controller));
+    std::printf("assembled: %zu + %zu instruction words\n\n",
+                tg::assemble(progs[0]).size(), tg::assemble(progs[1]).size());
+
+    run_on(platform::IcKind::Amba, progs);
+    run_on(platform::IcKind::Xpipes, progs);
+    std::printf("\nThe reactive doorbell loop adapts to each fabric's latency —\n"
+                "the planned IP cores can be evaluated before any RTL exists.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: the complete TG methodology on one 2-core system.
+//
+//   1. Build a reference platform (CPU cores + AMBA bus) running MP matrix.
+//   2. Run it bit/cycle-true while collecting OCP traces.
+//   3. Translate the traces into TG programs (reactive mode).
+//   4. Re-run the same platform with TGs instead of cores.
+//   5. Compare simulated cycles (accuracy) and wall time (speedup).
+#include <cstdio>
+
+#include "apps/apps.hpp"
+#include "platform/platform.hpp"
+#include "tg/program.hpp"
+#include "tg/translator.hpp"
+
+using namespace tgsim;
+
+int main() {
+    constexpr u32 kCores = 2;
+    const apps::Workload workload =
+        apps::make_mp_matrix(apps::MpMatrixParams{kCores, 16});
+
+    // --- reference simulation (bit- and cycle-true cores), traced ---
+    platform::PlatformConfig cfg;
+    cfg.n_cores = kCores;
+    cfg.ic = platform::IcKind::Amba;
+    cfg.collect_traces = true;
+
+    platform::Platform ref{cfg};
+    ref.load_workload(workload);
+    const auto ref_result = ref.run(50'000'000);
+    std::string msg;
+    if (!ref_result.completed || !ref.run_checks(workload, &msg)) {
+        std::printf("reference run FAILED: %s\n", msg.c_str());
+        return 1;
+    }
+    std::printf("reference: %llu cycles, %.3f s wall, %llu instructions\n",
+                static_cast<unsigned long long>(ref_result.cycles),
+                ref_result.wall_seconds,
+                static_cast<unsigned long long>(ref_result.total_instructions));
+
+    // --- trace -> TG program translation ---
+    tg::TranslateOptions topt;
+    topt.mode = tg::TgMode::Reactive;
+    topt.polls = workload.polls;
+    std::vector<tg::TgProgram> programs;
+    for (const tg::Trace& trace : ref.traces()) {
+        auto res = tg::translate(trace, topt);
+        std::printf("core %u: %llu trace events -> %zu TG instructions "
+                    "(%llu polls collapsed into %llu loops)\n",
+                    trace.core_id,
+                    static_cast<unsigned long long>(res.events_in),
+                    res.program.instrs.size(),
+                    static_cast<unsigned long long>(res.polls_collapsed),
+                    static_cast<unsigned long long>(res.poll_loops));
+        programs.push_back(std::move(res.program));
+    }
+
+    // --- TG simulation on the same interconnect ---
+    platform::PlatformConfig tg_cfg = cfg;
+    tg_cfg.collect_traces = false;
+    platform::Platform tgp{tg_cfg};
+    tgp.load_tg_programs(programs, workload);
+    const auto tg_result = tgp.run(50'000'000);
+    if (!tg_result.completed || !tgp.run_checks(workload, &msg)) {
+        std::printf("TG run FAILED: %s\n", msg.c_str());
+        return 1;
+    }
+    std::printf("tg run:    %llu cycles, %.3f s wall\n",
+                static_cast<unsigned long long>(tg_result.cycles),
+                tg_result.wall_seconds);
+
+    const double err =
+        100.0 *
+        (static_cast<double>(tg_result.cycles) - static_cast<double>(ref_result.cycles)) /
+        static_cast<double>(ref_result.cycles);
+    std::printf("accuracy: %+.3f%% cycle error; speedup %.2fx\n", err,
+                ref_result.wall_seconds / tg_result.wall_seconds);
+    return 0;
+}

@@ -1,0 +1,28 @@
+#include "apps/apps.hpp"
+#include "apps/common.hpp"
+
+namespace tgsim::apps {
+
+// Cacheloop (paper Sec. 6): after the initial I-cache refill the loop runs
+// entirely from the cache, producing no bus traffic at all — the benchmark
+// isolates the simulation cost of the cores themselves, which is exactly
+// what TGs eliminate. Every core runs the identical loop.
+Workload make_cacheloop(const CacheloopParams& p, const cpu::CpuTiming& timing) {
+    Workload w;
+    w.name = "cacheloop";
+    w.polls = detail::standard_polls(p.n_cores, timing);
+
+    cpu::Assembler a;
+    a.li(cpu::Reg::R1, p.iterations);
+    a.bind("loop");
+    a.addi(cpu::Reg::R1, cpu::Reg::R1, -1);
+    a.bne(cpu::Reg::R1, cpu::Reg::R0, "loop");
+    a.halt();
+
+    CoreProgram prog;
+    prog.code = a.finish();
+    for (u32 i = 0; i < p.n_cores; ++i) w.cores.push_back(prog);
+    return w;
+}
+
+} // namespace tgsim::apps

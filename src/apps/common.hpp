@@ -1,0 +1,79 @@
+// Shared emission helpers for the benchmark programs: semaphore lock/unlock
+// loops and the flag barrier. All polling loops are exactly `ld; beq back`,
+// so their TG-side inter-poll idle equals the core's taken-branch penalty.
+#pragma once
+
+#include <string>
+
+#include "apps/workload.hpp"
+#include "cpu/assembler.hpp"
+#include "platform/memory_map.hpp"
+
+namespace tgsim::apps::detail {
+
+using cpu::Assembler;
+using cpu::Reg;
+
+/// Spin until the semaphore/flag word at [addr_reg] reads nonzero.
+/// (Semaphore reads are test-and-set: nonzero means acquired.)
+inline void emit_acquire(Assembler& a, const std::string& label, Reg addr_reg,
+                         Reg tmp) {
+    a.bind(label);
+    a.ld(tmp, addr_reg, 0);
+    a.beq(tmp, Reg::R0, label);
+}
+
+/// Release the semaphore at [addr_reg] (write 1).
+inline void emit_release(Assembler& a, Reg addr_reg, Reg tmp) {
+    a.movi(tmp, 1);
+    a.st(tmp, addr_reg, 0);
+}
+
+/// Flag barrier: every core writes done[core] = 1; core 0 waits for all done
+/// flags and then writes the go flag; others spin on the go flag.
+inline void emit_barrier(Assembler& a, u32 core, u32 n_cores, Reg addr_reg,
+                         Reg tmp, const std::string& prefix) {
+    a.li(addr_reg, platform::kSharedBase + platform::kSharedDoneFlags + 4 * core);
+    a.movi(tmp, 1);
+    a.st(tmp, addr_reg, 0);
+    if (core == 0) {
+        for (u32 j = 1; j < n_cores; ++j) {
+            a.li(addr_reg,
+                 platform::kSharedBase + platform::kSharedDoneFlags + 4 * j);
+            emit_acquire(a, prefix + "_done" + std::to_string(j), addr_reg, tmp);
+        }
+        a.li(addr_reg, platform::kSharedBase + platform::kSharedGoFlag);
+        a.movi(tmp, 1);
+        a.st(tmp, addr_reg, 0);
+    } else {
+        a.li(addr_reg, platform::kSharedBase + platform::kSharedGoFlag);
+        emit_acquire(a, prefix + "_go", addr_reg, tmp);
+    }
+}
+
+/// PollSpecs for the semaphore bank and the barrier flag region: retry while
+/// the read value is zero; in-loop idle matches the taken-branch penalty of
+/// the `ld; beq` polling loops above.
+inline std::vector<tg::PollSpec> standard_polls(u32 n_cores,
+                                                const cpu::CpuTiming& timing) {
+    std::vector<tg::PollSpec> polls;
+    tg::PollSpec sems;
+    sems.base = platform::kSemBase;
+    sems.size = 4 * platform::kSemCount;
+    sems.retry_cmp = tg::TgCmp::Eq;
+    sems.retry_value = 0;
+    sems.inter_poll_idle = timing.branch_taken_extra;
+    polls.push_back(sems);
+
+    tg::PollSpec flags;
+    flags.base = platform::kSharedBase + platform::kSharedGoFlag;
+    flags.size = (platform::kSharedDoneFlags - platform::kSharedGoFlag) +
+                 4 * n_cores;
+    flags.retry_cmp = tg::TgCmp::Eq;
+    flags.retry_value = 0;
+    flags.inter_poll_idle = timing.branch_taken_extra;
+    polls.push_back(flags);
+    return polls;
+}
+
+} // namespace tgsim::apps::detail

@@ -1,0 +1,162 @@
+#include "apps/apps.hpp"
+#include "apps/common.hpp"
+
+namespace tgsim::apps {
+
+// MP matrix (paper Sec. 6): multiprocessor matrix multiply stressing
+// synchronization and resource contention.
+//
+// Traffic profile (mirroring an MPARM-style application): each core first
+// stages the operand matrices from shared memory into its private scratch
+// (a burst of uncached shared reads — heavy interconnect contention that
+// grows with the core count), then computes its row block out of its caches
+// (D-cache refills plus write-through stores), commits each result row to
+// shared memory under a hardware-semaphore lock (serialization + polling),
+// and finally meets the other cores in a flag barrier.
+//
+// The work partition is static (row blocks per core), so each core's
+// transaction SEQUENCE is identical on any interconnect — only the timing
+// and the number of polls vary. That is the property that makes translated
+// TG programs interconnect-independent (paper Sec. 6, first experiment).
+//
+// Private scratch layout (offsets from kPrivScratch, in bytes):
+//   [0, 4n)          A row buffer
+//   [4n, 8n)         C row buffer
+//   [8n, 8n + 4n^2)  full copy of B, stored TRANSPOSED so the inner product
+//                    walks consecutive addresses (cache-friendly)
+Workload make_mp_matrix(const MpMatrixParams& p, const cpu::CpuTiming& timing) {
+    using cpu::Reg;
+    const u32 n = p.n;
+    const u32 mat_bytes = n * n * 4;
+    const u32 a_addr = platform::kSharedBase + platform::kSharedData;
+    const u32 b_addr = a_addr + mat_bytes;
+    const u32 c_addr = b_addr + mat_bytes;
+    const u32 sem0 = platform::sem_addr(0);
+    const i32 off_c = static_cast<i32>(4 * n);
+    const i32 off_b = static_cast<i32>(8 * n);
+
+    Workload w;
+    w.name = "mp_matrix";
+    w.polls = detail::standard_polls(p.n_cores, timing);
+
+    std::vector<u32> am(n * n), bm(n * n);
+    for (u32 i = 0; i < n * n; ++i) {
+        am[i] = pattern_word(i) & 0xFFu;
+        bm[i] = pattern_word(i + n * n) & 0xFFu;
+    }
+    w.shared_init.push_back(Segment{a_addr, am});
+    w.shared_init.push_back(Segment{b_addr, bm});
+    for (u32 i = 0; i < n; ++i)
+        for (u32 j = 0; j < n; ++j) {
+            u32 acc = 0;
+            for (u32 k = 0; k < n; ++k) acc += am[i * n + k] * bm[k * n + j];
+            w.checks.push_back(Check{c_addr + 4 * (i * n + j), acc});
+        }
+
+    for (u32 core = 0; core < p.n_cores; ++core) {
+        const u32 row_lo = core * n / p.n_cores;
+        const u32 row_hi = (core + 1) * n / p.n_cores;
+        const u32 scratch = platform::priv_base(core) + platform::kPrivScratch;
+
+        cpu::Assembler a;
+        // r1=row r2=j r3=k r4=&A r5=&B r6=&C r7=acc r8/r9=temps r10=n
+        // r11=sem/flag addr r12=tmp r13=&scratch
+        a.li(Reg::R10, n);
+        a.li(Reg::R4, a_addr);
+        a.li(Reg::R5, b_addr);
+        a.li(Reg::R6, c_addr);
+        a.li(Reg::R13, scratch);
+
+        if (row_lo < row_hi) {
+            // --- Phase 1: stage B (transposed) into private scratch ---
+            a.movi(Reg::R2, 0); // k
+            a.bind("copy_bk");
+            a.movi(Reg::R3, 0); // j
+            a.bind("copy_bj");
+            a.mul(Reg::R8, Reg::R2, Reg::R10);
+            a.add(Reg::R8, Reg::R8, Reg::R3);
+            a.slli(Reg::R8, Reg::R8, 2);
+            a.add(Reg::R8, Reg::R8, Reg::R5);
+            a.ld(Reg::R7, Reg::R8, 0); // shared (uncached) read of B[k][j]
+            a.mul(Reg::R9, Reg::R3, Reg::R10);
+            a.add(Reg::R9, Reg::R9, Reg::R2);
+            a.slli(Reg::R9, Reg::R9, 2);
+            a.add(Reg::R9, Reg::R9, Reg::R13);
+            a.st(Reg::R7, Reg::R9, off_b); // scratchBt[j][k] (write-through)
+            a.addi(Reg::R3, Reg::R3, 1);
+            a.blt(Reg::R3, Reg::R10, "copy_bj");
+            a.addi(Reg::R2, Reg::R2, 1);
+            a.blt(Reg::R2, Reg::R10, "copy_bk");
+
+            a.li(Reg::R1, row_lo);
+            a.bind("row_loop");
+            // --- stage A[row][*] into the scratch row buffer ---
+            a.mul(Reg::R8, Reg::R1, Reg::R10);
+            a.slli(Reg::R8, Reg::R8, 2);
+            a.add(Reg::R8, Reg::R8, Reg::R4); // &A[row][0]
+            a.movi(Reg::R2, 0);
+            a.bind("copy_a");
+            a.slli(Reg::R9, Reg::R2, 2);
+            a.add(Reg::R12, Reg::R9, Reg::R8);
+            a.ld(Reg::R7, Reg::R12, 0); // shared read of A element
+            a.add(Reg::R12, Reg::R9, Reg::R13);
+            a.st(Reg::R7, Reg::R12, 0); // scratch A row
+            a.addi(Reg::R2, Reg::R2, 1);
+            a.blt(Reg::R2, Reg::R10, "copy_a");
+
+            // --- compute the row from the caches ---
+            a.movi(Reg::R2, 0);
+            a.bind("col_loop");
+            a.movi(Reg::R3, 0);
+            a.movi(Reg::R7, 0);
+            a.bind("k_loop");
+            a.slli(Reg::R8, Reg::R3, 2);
+            a.add(Reg::R8, Reg::R8, Reg::R13);
+            a.ld(Reg::R8, Reg::R8, 0); // a = scratchA[k] (cached)
+            a.mul(Reg::R9, Reg::R2, Reg::R10);
+            a.add(Reg::R9, Reg::R9, Reg::R3);
+            a.slli(Reg::R9, Reg::R9, 2);
+            a.add(Reg::R9, Reg::R9, Reg::R13);
+            a.ld(Reg::R9, Reg::R9, off_b); // b = scratchBt[j*n+k] (cached)
+            a.mul(Reg::R8, Reg::R8, Reg::R9);
+            a.add(Reg::R7, Reg::R7, Reg::R8);
+            a.addi(Reg::R3, Reg::R3, 1);
+            a.blt(Reg::R3, Reg::R10, "k_loop");
+            // scratchC[j] = acc (private, write-through)
+            a.slli(Reg::R8, Reg::R2, 2);
+            a.add(Reg::R8, Reg::R8, Reg::R13);
+            a.st(Reg::R7, Reg::R8, off_c);
+            a.addi(Reg::R2, Reg::R2, 1);
+            a.blt(Reg::R2, Reg::R10, "col_loop");
+
+            // --- commit the row to shared C under the semaphore lock ---
+            a.li(Reg::R11, sem0);
+            detail::emit_acquire(a, "lock_row", Reg::R11, Reg::R12);
+            a.movi(Reg::R2, 0);
+            a.bind("commit_loop");
+            a.slli(Reg::R8, Reg::R2, 2);
+            a.add(Reg::R8, Reg::R8, Reg::R13);
+            a.ld(Reg::R7, Reg::R8, off_c); // scratchC[j] (cached)
+            a.mul(Reg::R8, Reg::R1, Reg::R10);
+            a.add(Reg::R8, Reg::R8, Reg::R2);
+            a.slli(Reg::R8, Reg::R8, 2);
+            a.add(Reg::R8, Reg::R8, Reg::R6);
+            a.st(Reg::R7, Reg::R8, 0); // shared store of C element
+            a.addi(Reg::R2, Reg::R2, 1);
+            a.blt(Reg::R2, Reg::R10, "commit_loop");
+            detail::emit_release(a, Reg::R11, Reg::R12);
+            a.addi(Reg::R1, Reg::R1, 1);
+            a.li(Reg::R12, row_hi);
+            a.blt(Reg::R1, Reg::R12, "row_loop");
+        }
+        detail::emit_barrier(a, core, p.n_cores, Reg::R11, Reg::R12, "bar");
+        a.halt();
+
+        CoreProgram prog;
+        prog.code = a.finish();
+        w.cores.push_back(std::move(prog));
+    }
+    return w;
+}
+
+} // namespace tgsim::apps

@@ -1,0 +1,86 @@
+#include "apps/apps.hpp"
+#include "apps/common.hpp"
+
+namespace tgsim::apps {
+
+// SP matrix (paper Sec. 6): single-processor n x n matrix multiply with all
+// operands in private, cacheable memory. Traffic is I-/D-cache refills plus
+// write-through stores — the simplest environment for validating TG accuracy
+// and speedup.
+Workload make_sp_matrix(const SpMatrixParams& p, const cpu::CpuTiming& timing) {
+    using cpu::Reg;
+    const u32 n = p.n;
+    const u32 mat_bytes = n * n * 4;
+    const u32 base = platform::priv_base(0);
+    const u32 a_addr = base + platform::kPrivData;
+    const u32 b_addr = a_addr + mat_bytes;
+    const u32 c_addr = b_addr + mat_bytes;
+
+    Workload w;
+    w.name = "sp_matrix";
+    w.polls = detail::standard_polls(1, timing);
+
+    cpu::Assembler a;
+    // r1=i r2=j r3=k r4=&A r5=&B r6=&C r7=acc r8/r9=temps r10=n
+    a.li(Reg::R10, n);
+    a.li(Reg::R4, a_addr);
+    a.li(Reg::R5, b_addr);
+    a.li(Reg::R6, c_addr);
+    a.movi(Reg::R1, 0);
+    a.bind("iloop");
+    a.movi(Reg::R2, 0);
+    a.bind("jloop");
+    a.movi(Reg::R3, 0);
+    a.movi(Reg::R7, 0);
+    a.bind("kloop");
+    // r8 = A[i*n + k]
+    a.mul(Reg::R8, Reg::R1, Reg::R10);
+    a.add(Reg::R8, Reg::R8, Reg::R3);
+    a.slli(Reg::R8, Reg::R8, 2);
+    a.add(Reg::R8, Reg::R8, Reg::R4);
+    a.ld(Reg::R8, Reg::R8, 0);
+    // r9 = B[k*n + j]
+    a.mul(Reg::R9, Reg::R3, Reg::R10);
+    a.add(Reg::R9, Reg::R9, Reg::R2);
+    a.slli(Reg::R9, Reg::R9, 2);
+    a.add(Reg::R9, Reg::R9, Reg::R5);
+    a.ld(Reg::R9, Reg::R9, 0);
+    a.mul(Reg::R8, Reg::R8, Reg::R9);
+    a.add(Reg::R7, Reg::R7, Reg::R8);
+    a.addi(Reg::R3, Reg::R3, 1);
+    a.blt(Reg::R3, Reg::R10, "kloop");
+    // C[i*n + j] = acc
+    a.mul(Reg::R8, Reg::R1, Reg::R10);
+    a.add(Reg::R8, Reg::R8, Reg::R2);
+    a.slli(Reg::R8, Reg::R8, 2);
+    a.add(Reg::R8, Reg::R8, Reg::R6);
+    a.st(Reg::R7, Reg::R8, 0);
+    a.addi(Reg::R2, Reg::R2, 1);
+    a.blt(Reg::R2, Reg::R10, "jloop");
+    a.addi(Reg::R1, Reg::R1, 1);
+    a.blt(Reg::R1, Reg::R10, "iloop");
+    a.halt();
+
+    CoreProgram prog;
+    prog.code = a.finish();
+
+    // Operand data and expected results.
+    std::vector<u32> am(n * n), bm(n * n);
+    for (u32 i = 0; i < n * n; ++i) {
+        am[i] = pattern_word(i) & 0xFFu;
+        bm[i] = pattern_word(i + n * n) & 0xFFu;
+    }
+    prog.data.push_back(Segment{a_addr, am});
+    prog.data.push_back(Segment{b_addr, bm});
+    for (u32 i = 0; i < n; ++i) {
+        for (u32 j = 0; j < n; ++j) {
+            u32 acc = 0;
+            for (u32 k = 0; k < n; ++k) acc += am[i * n + k] * bm[k * n + j];
+            w.checks.push_back(Check{c_addr + 4 * (i * n + j), acc});
+        }
+    }
+    w.cores.push_back(std::move(prog));
+    return w;
+}
+
+} // namespace tgsim::apps

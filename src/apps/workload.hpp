@@ -1,0 +1,43 @@
+// Workload description shared by the platform builder and the benchmarks.
+//
+// A Workload bundles one program per core, initial memory images, the
+// pollable-resource knowledge the translator needs (paper Sec. 3: "the TG
+// must be able to recognize polling accesses"), and result checks used by
+// the test suite to prove the programs actually compute what they claim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cpu/core.hpp"
+#include "tg/translator.hpp"
+
+namespace tgsim::apps {
+
+/// A memory image at an absolute byte address.
+struct Segment {
+    u32 addr = 0;
+    std::vector<u32> words;
+};
+
+struct CoreProgram {
+    std::vector<u32> code; ///< loaded at the core's private base
+    std::vector<Segment> data; ///< absolute addresses (usually own private)
+    u32 entry = 0; ///< byte offset of the first instruction
+};
+
+/// An expected memory value checked after the reference run.
+struct Check {
+    u32 addr = 0;
+    u32 expect = 0;
+};
+
+struct Workload {
+    std::string name;
+    std::vector<CoreProgram> cores;
+    std::vector<Segment> shared_init; ///< absolute addresses in shared memory
+    std::vector<tg::PollSpec> polls;
+    std::vector<Check> checks;
+};
+
+} // namespace tgsim::apps

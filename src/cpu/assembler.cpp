@@ -1,0 +1,83 @@
+#include "cpu/assembler.hpp"
+
+#include <stdexcept>
+
+namespace tgsim::cpu {
+
+void Assembler::bind(const std::string& name) {
+    if (labels_.count(name) != 0)
+        throw std::invalid_argument{"Assembler: duplicate label " + name};
+    labels_[name] = here();
+}
+
+void Assembler::emit_rri(Op op, Reg rd, Reg rs, i32 imm) {
+    const bool sign = signed_imm(op);
+    const i32 bits = static_cast<i32>(imm_bits(op));
+    const i32 lo = sign ? -(1 << (bits - 1)) : 0;
+    const i32 hi = sign ? (1 << (bits - 1)) - 1 : (1 << bits) - 1;
+    if (imm < lo || imm > hi)
+        throw std::out_of_range{"Assembler: immediate out of range: " + mnemonic(op)};
+    emit(encode_rri(op, rd, rs, imm));
+}
+
+void Assembler::emit_mem(Op op, Reg data, Reg base, i32 off) {
+    if (off < -2048 || off > 2047)
+        throw std::out_of_range{"Assembler: memory offset out of range"};
+    emit(encode_mem(op, data, base, off));
+}
+
+void Assembler::movi(Reg rd, i32 imm16) {
+    if (imm16 < -32768 || imm16 > 32767)
+        throw std::out_of_range{"Assembler: movi immediate out of range"};
+    emit(encode_ri16(Op::Movi, rd, imm16));
+}
+
+void Assembler::lui(Reg rd, i32 imm16) {
+    if (imm16 < 0 || imm16 > 0xFFFF)
+        throw std::out_of_range{"Assembler: lui immediate out of range"};
+    emit(encode_ri16(Op::Lui, rd, imm16));
+}
+
+void Assembler::li(Reg rd, u32 value) {
+    const i32 sv = static_cast<i32>(value);
+    if (sv >= -32768 && sv <= 32767) {
+        movi(rd, sv);
+        return;
+    }
+    lui(rd, static_cast<i32>(value >> 16));
+    if ((value & 0xFFFFu) != 0)
+        ori(rd, rd, static_cast<i32>(value & 0xFFFFu));
+}
+
+void Assembler::emit_branch(Op op, Reg rs, Reg rt, const std::string& label) {
+    fixups_.push_back(Fixup{words_.size(), label, false});
+    emit(encode_branch(op, rs, rt, 0));
+}
+
+void Assembler::emit_jump(Op op, const std::string& label) {
+    fixups_.push_back(Fixup{words_.size(), label, true});
+    emit(encode_j(op, 0));
+}
+
+std::vector<u32> Assembler::finish() {
+    for (const Fixup& f : fixups_) {
+        const auto it = labels_.find(f.label);
+        if (it == labels_.end())
+            throw std::invalid_argument{"Assembler: undefined label " + f.label};
+        // Offsets are relative to pc+1.
+        const i64 off = i64{it->second} - (i64(f.pos) + 1);
+        if (f.wide) {
+            if (off < -(1 << 23) || off >= (1 << 23))
+                throw std::out_of_range{"Assembler: jump offset out of range"};
+            words_[f.pos] |= static_cast<u32>(off) & 0xFFFFFFu;
+        } else {
+            if (off < -2048 || off > 2047)
+                throw std::out_of_range{"Assembler: branch offset out of range to " + f.label};
+            words_[f.pos] |= static_cast<u32>(off) & 0xFFFu;
+        }
+    }
+    fixups_.clear();
+    return words_;
+}
+
+} // namespace tgsim::cpu

@@ -1,0 +1,95 @@
+// In-C++ assembler for the mini-RISC ISA.
+//
+// Benchmark programs (src/apps) are written against this builder: mnemonic
+// methods append encoded words, string labels are resolved at finish() time
+// with range checking. The pseudo-instruction `li` expands to MOVI or
+// LUI+ORI depending on the constant.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/isa.hpp"
+
+namespace tgsim::cpu {
+
+class Assembler {
+public:
+    // --- labels ---
+    /// Binds `name` to the current position. A label may be referenced
+    /// before or after it is bound.
+    void bind(const std::string& name);
+    /// Current position in words.
+    [[nodiscard]] u32 here() const noexcept { return static_cast<u32>(words_.size()); }
+
+    // --- ALU register ---
+    void add(Reg rd, Reg rs, Reg rt) { emit(encode_rrr(Op::Add, rd, rs, rt)); }
+    void sub(Reg rd, Reg rs, Reg rt) { emit(encode_rrr(Op::Sub, rd, rs, rt)); }
+    void and_(Reg rd, Reg rs, Reg rt) { emit(encode_rrr(Op::And, rd, rs, rt)); }
+    void or_(Reg rd, Reg rs, Reg rt) { emit(encode_rrr(Op::Or, rd, rs, rt)); }
+    void xor_(Reg rd, Reg rs, Reg rt) { emit(encode_rrr(Op::Xor, rd, rs, rt)); }
+    void sll(Reg rd, Reg rs, Reg rt) { emit(encode_rrr(Op::Sll, rd, rs, rt)); }
+    void srl(Reg rd, Reg rs, Reg rt) { emit(encode_rrr(Op::Srl, rd, rs, rt)); }
+    void sra(Reg rd, Reg rs, Reg rt) { emit(encode_rrr(Op::Sra, rd, rs, rt)); }
+    void mul(Reg rd, Reg rs, Reg rt) { emit(encode_rrr(Op::Mul, rd, rs, rt)); }
+    void slt(Reg rd, Reg rs, Reg rt) { emit(encode_rrr(Op::Slt, rd, rs, rt)); }
+    void sltu(Reg rd, Reg rs, Reg rt) { emit(encode_rrr(Op::Sltu, rd, rs, rt)); }
+
+    // --- ALU immediate ---
+    void addi(Reg rd, Reg rs, i32 imm) { emit_rri(Op::Addi, rd, rs, imm); }
+    void andi(Reg rd, Reg rs, i32 imm) { emit_rri(Op::Andi, rd, rs, imm); }
+    void ori(Reg rd, Reg rs, i32 imm) { emit_rri(Op::Ori, rd, rs, imm); }
+    void xori(Reg rd, Reg rs, i32 imm) { emit_rri(Op::Xori, rd, rs, imm); }
+    void slli(Reg rd, Reg rs, i32 imm) { emit_rri(Op::Slli, rd, rs, imm); }
+    void srli(Reg rd, Reg rs, i32 imm) { emit_rri(Op::Srli, rd, rs, imm); }
+    void srai(Reg rd, Reg rs, i32 imm) { emit_rri(Op::Srai, rd, rs, imm); }
+    void slti(Reg rd, Reg rs, i32 imm) { emit_rri(Op::Slti, rd, rs, imm); }
+
+    // --- immediates ---
+    void movi(Reg rd, i32 imm16);
+    void lui(Reg rd, i32 imm16);
+    /// Loads an arbitrary 32-bit constant (1 or 2 instructions).
+    void li(Reg rd, u32 value);
+
+    // --- memory ---
+    void ld(Reg rd, Reg base, i32 off = 0) { emit_mem(Op::Ld, rd, base, off); }
+    void st(Reg data, Reg base, i32 off = 0) { emit_mem(Op::St, data, base, off); }
+
+    // --- control flow (label targets) ---
+    void beq(Reg rs, Reg rt, const std::string& label) { emit_branch(Op::Beq, rs, rt, label); }
+    void bne(Reg rs, Reg rt, const std::string& label) { emit_branch(Op::Bne, rs, rt, label); }
+    void blt(Reg rs, Reg rt, const std::string& label) { emit_branch(Op::Blt, rs, rt, label); }
+    void bge(Reg rs, Reg rt, const std::string& label) { emit_branch(Op::Bge, rs, rt, label); }
+    void j(const std::string& label) { emit_jump(Op::J, label); }
+    void jal(const std::string& label) { emit_jump(Op::Jal, label); }
+    void jr(Reg rs) { emit(encode_rri(Op::Jr, Reg::R0, rs, 0)); }
+
+    void nop() { emit(encode_rrr(Op::Nop, Reg::R0, Reg::R0, Reg::R0)); }
+    void halt() { emit(u32(Op::Halt) << 24); }
+
+    /// Emits a raw word (e.g. inline data — use with care).
+    void emit(u32 word) { words_.push_back(word); }
+
+    /// Resolves all label references and returns the code. Throws on
+    /// undefined labels or out-of-range offsets.
+    [[nodiscard]] std::vector<u32> finish();
+
+private:
+    struct Fixup {
+        std::size_t pos = 0;
+        std::string label;
+        bool wide = false; ///< 24-bit (J/JAL) vs 12-bit (branch) offset
+    };
+
+    void emit_rri(Op op, Reg rd, Reg rs, i32 imm);
+    void emit_mem(Op op, Reg data, Reg base, i32 off);
+    void emit_branch(Op op, Reg rs, Reg rt, const std::string& label);
+    void emit_jump(Op op, const std::string& label);
+
+    std::vector<u32> words_;
+    std::unordered_map<std::string, u32> labels_;
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace tgsim::cpu

@@ -1,0 +1,108 @@
+// Direct-mapped cache with data storage.
+//
+// Write-through, no-allocate-on-write (MPARM-style): stores update a present
+// line and always go to memory; misses on stores do not allocate. Refills
+// arrive as whole lines via OCP burst reads issued by the core.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace tgsim::cpu {
+
+struct CacheConfig {
+    u32 line_words = 4; ///< words per line (burst length of a refill)
+    u32 num_lines = 64; ///< direct-mapped sets
+};
+
+class DirectCache {
+public:
+    explicit DirectCache(CacheConfig cfg) : cfg_(cfg) {
+        if (cfg.line_words == 0 || cfg.num_lines == 0 ||
+            (cfg.line_words & (cfg.line_words - 1)) != 0 ||
+            (cfg.num_lines & (cfg.num_lines - 1)) != 0)
+            throw std::invalid_argument{"DirectCache: sizes must be nonzero powers of two"};
+        valid_.assign(cfg.num_lines, false);
+        tags_.assign(cfg.num_lines, 0);
+        data_.assign(std::size_t{cfg.num_lines} * cfg.line_words, 0);
+    }
+
+    [[nodiscard]] u32 line_bytes() const noexcept { return cfg_.line_words * 4u; }
+    [[nodiscard]] u32 line_base(u32 addr) const noexcept {
+        return addr & ~(line_bytes() - 1u);
+    }
+
+    /// Tag check; counts a hit or a miss.
+    [[nodiscard]] bool lookup(u32 addr) noexcept {
+        const bool hit = present(addr);
+        if (hit)
+            ++hits_;
+        else
+            ++misses_;
+        return hit;
+    }
+
+    /// Tag check without touching the statistics.
+    [[nodiscard]] bool present(u32 addr) const noexcept {
+        const u32 idx = index(addr);
+        return valid_[idx] && tags_[idx] == tag(addr);
+    }
+
+    /// Word read; line must be present.
+    [[nodiscard]] u32 read(u32 addr) const {
+        if (!present(addr)) throw std::logic_error{"DirectCache::read on miss"};
+        return data_[word_slot(addr)];
+    }
+
+    /// Store-hit update; returns true when the line was present.
+    bool write_if_present(u32 addr, u32 value) noexcept {
+        if (!present(addr)) return false;
+        data_[word_slot(addr)] = value;
+        return true;
+    }
+
+    /// Installs a full line (refill completion).
+    void fill(u32 addr, std::span<const u32> words) {
+        if (words.size() != cfg_.line_words)
+            throw std::invalid_argument{"DirectCache::fill: wrong beat count"};
+        const u32 base = line_base(addr);
+        const u32 idx = index(base);
+        valid_[idx] = true;
+        tags_[idx] = tag(base);
+        for (u32 i = 0; i < cfg_.line_words; ++i)
+            data_[std::size_t{idx} * cfg_.line_words + i] = words[i];
+    }
+
+    void invalidate_all() noexcept {
+        valid_.assign(valid_.size(), false);
+        hits_ = misses_ = 0;
+    }
+
+    [[nodiscard]] u64 hits() const noexcept { return hits_; }
+    [[nodiscard]] u64 misses() const noexcept { return misses_; }
+    [[nodiscard]] const CacheConfig& config() const noexcept { return cfg_; }
+
+private:
+    [[nodiscard]] u32 index(u32 addr) const noexcept {
+        return (addr / line_bytes()) & (cfg_.num_lines - 1u);
+    }
+    [[nodiscard]] u32 tag(u32 addr) const noexcept {
+        return addr / (line_bytes() * cfg_.num_lines);
+    }
+    [[nodiscard]] std::size_t word_slot(u32 addr) const noexcept {
+        return std::size_t{index(addr)} * cfg_.line_words +
+               ((addr / 4u) & (cfg_.line_words - 1u));
+    }
+
+    CacheConfig cfg_;
+    std::vector<bool> valid_;
+    std::vector<u32> tags_;
+    std::vector<u32> data_;
+    u64 hits_ = 0;
+    u64 misses_ = 0;
+};
+
+} // namespace tgsim::cpu

@@ -1,0 +1,309 @@
+#include "cpu/core.hpp"
+
+#include <span>
+
+namespace tgsim::cpu {
+
+namespace {
+constexpr u32 kPoison = 0xDEADBEEFu;
+} // namespace
+
+CpuCore::CpuCore(ocp::Channel& channel, CpuConfig cfg)
+    : ch_(channel), cfg_(std::move(cfg)), icache_(cfg_.icache), dcache_(cfg_.dcache) {}
+
+void CpuCore::reset(u32 entry_addr) {
+    regs_.fill(0);
+    pc_word_ = entry_addr / 4u;
+    state_ = State::Run;
+    stall_left_ = 0;
+    req_ = Request{};
+    memop_ = MemOp::None;
+    cycle_ = 0;
+    halt_cycle_ = 0;
+    stats_ = CpuStats{};
+    icache_.invalidate_all();
+    dcache_.invalidate_all();
+    ch_.clear_request();
+    driven_ = DriveState::Idle;
+    req_gen_ = 0;
+    driven_gen_ = 0;
+}
+
+bool CpuCore::cacheable(u32 addr) const noexcept {
+    for (const AddrRange& r : cfg_.cacheable)
+        if (r.contains(addr)) return true;
+    return false;
+}
+
+void CpuCore::eval() {
+    const bool drive_req = req_.active && !req_.accepted;
+    const bool await_resp = req_.active && ocp::is_read(req_.cmd);
+    const DriveState desired = drive_req    ? DriveState::Request
+                               : await_resp ? DriveState::RespWait
+                                            : DriveState::Idle;
+    if (desired == driven_ &&
+        (desired != DriveState::Request || driven_gen_ == req_gen_))
+        return; // wires already hold the right values
+    switch (desired) {
+        case DriveState::Idle:
+            ch_.clear_request();
+            break;
+        case DriveState::Request:
+            ch_.m_cmd = req_.cmd;
+            ch_.m_addr = req_.addr;
+            ch_.m_data = req_.data;
+            ch_.m_burst = req_.burst;
+            ch_.m_resp_accept = ocp::is_read(req_.cmd);
+            break;
+        case DriveState::RespWait:
+            ch_.m_cmd = ocp::Cmd::Idle;
+            ch_.m_addr = 0;
+            ch_.m_data = 0;
+            ch_.m_burst = 1;
+            ch_.m_resp_accept = true;
+            break;
+    }
+    driven_ = desired;
+    driven_gen_ = req_gen_;
+}
+
+Cycle CpuCore::quiet_for() const {
+    if (driven_ != DriveState::Idle) return 0; // wires not settled
+    if (state_ == State::Halted) return sim::kQuietForever;
+    if (state_ == State::Stall) return stall_left_ - 1;
+    return 0;
+}
+
+void CpuCore::advance(Cycle cycles) {
+    cycle_ += cycles;
+    if (state_ == State::Stall) {
+        stall_left_ -= static_cast<u32>(cycles);
+        stats_.stall_cycles += cycles;
+    }
+}
+
+void CpuCore::update() {
+    ++cycle_;
+    switch (state_) {
+        case State::Halted:
+            break;
+        case State::Stall:
+            ++stats_.stall_cycles;
+            if (--stall_left_ == 0) state_ = State::Run;
+            break;
+        case State::MemWait:
+            ++stats_.mem_wait_cycles;
+            mem_progress();
+            break;
+        case State::Run:
+            execute_one();
+            break;
+    }
+}
+
+void CpuCore::advance(u32 extra_stall) noexcept {
+    if (extra_stall > 0) {
+        state_ = State::Stall;
+        stall_left_ = extra_stall;
+    }
+}
+
+void CpuCore::start_burst_read(MemOp kind, u32 line_addr, u16 beats) {
+    req_ = Request{};
+    req_.active = true;
+    req_.cmd = ocp::Cmd::BurstRead;
+    req_.addr = line_addr;
+    req_.burst = beats;
+    memop_ = kind;
+    state_ = State::MemWait;
+    ++req_gen_;
+}
+
+void CpuCore::start_single(MemOp kind, ocp::Cmd cmd, u32 addr, u32 data) {
+    req_ = Request{};
+    req_.active = true;
+    req_.cmd = cmd;
+    req_.addr = addr;
+    req_.data = data;
+    memop_ = kind;
+    state_ = State::MemWait;
+    ++req_gen_;
+}
+
+void CpuCore::execute_one() {
+    const u32 fetch_addr = pc_word_ * 4u;
+    if (!icache_.lookup(fetch_addr)) {
+        start_burst_read(MemOp::IFetch, icache_.line_base(fetch_addr),
+                         static_cast<u16>(icache_.config().line_words));
+        return;
+    }
+    execute(decode(icache_.read(fetch_addr)));
+}
+
+void CpuCore::execute(const DecodedInstr& d) {
+    ++stats_.instructions;
+    const u32 a = regs_[d.rs];
+    const u32 b = regs_[d.rt];
+    const auto next = [this] { ++pc_word_; };
+    switch (d.op) {
+        case Op::Add: write_reg(d.rd, a + b); next(); break;
+        case Op::Sub: write_reg(d.rd, a - b); next(); break;
+        case Op::And: write_reg(d.rd, a & b); next(); break;
+        case Op::Or: write_reg(d.rd, a | b); next(); break;
+        case Op::Xor: write_reg(d.rd, a ^ b); next(); break;
+        case Op::Sll: write_reg(d.rd, a << (b & 31u)); next(); break;
+        case Op::Srl: write_reg(d.rd, a >> (b & 31u)); next(); break;
+        case Op::Sra:
+            write_reg(d.rd, static_cast<u32>(static_cast<i32>(a) >> (b & 31u)));
+            next();
+            break;
+        case Op::Mul:
+            write_reg(d.rd, a * b);
+            next();
+            advance(cfg_.timing.mul_extra);
+            break;
+        case Op::Slt:
+            write_reg(d.rd, static_cast<i32>(a) < static_cast<i32>(b) ? 1u : 0u);
+            next();
+            break;
+        case Op::Sltu: write_reg(d.rd, a < b ? 1u : 0u); next(); break;
+
+        case Op::Addi: write_reg(d.rd, a + static_cast<u32>(d.imm)); next(); break;
+        case Op::Andi: write_reg(d.rd, a & static_cast<u32>(d.imm)); next(); break;
+        case Op::Ori: write_reg(d.rd, a | static_cast<u32>(d.imm)); next(); break;
+        case Op::Xori: write_reg(d.rd, a ^ static_cast<u32>(d.imm)); next(); break;
+        case Op::Slli: write_reg(d.rd, a << (static_cast<u32>(d.imm) & 31u)); next(); break;
+        case Op::Srli: write_reg(d.rd, a >> (static_cast<u32>(d.imm) & 31u)); next(); break;
+        case Op::Srai:
+            write_reg(d.rd, static_cast<u32>(static_cast<i32>(a) >>
+                                             (static_cast<u32>(d.imm) & 31u)));
+            next();
+            break;
+        case Op::Slti:
+            write_reg(d.rd, static_cast<i32>(a) < d.imm ? 1u : 0u);
+            next();
+            break;
+
+        case Op::Movi: write_reg(d.rd, static_cast<u32>(d.imm)); next(); break;
+        case Op::Lui: write_reg(d.rd, static_cast<u32>(d.imm) << 16); next(); break;
+
+        case Op::Ld: {
+            ++stats_.loads;
+            const u32 addr = a + static_cast<u32>(d.imm);
+            pending_rd_ = d.rd;
+            pending_addr_ = addr;
+            if (cacheable(addr)) {
+                if (dcache_.lookup(addr)) {
+                    write_reg(d.rd, dcache_.read(addr));
+                    next();
+                } else {
+                    start_burst_read(MemOp::LoadRefill, dcache_.line_base(addr),
+                                     static_cast<u16>(dcache_.config().line_words));
+                }
+            } else {
+                start_single(MemOp::LoadUncached, ocp::Cmd::Read, addr, 0);
+            }
+            break;
+        }
+        case Op::St: {
+            ++stats_.stores;
+            const u32 addr = a + static_cast<u32>(d.imm);
+            const u32 value = b;
+            if (cacheable(addr)) dcache_.write_if_present(addr, value);
+            start_single(MemOp::Store, ocp::Cmd::Write, addr, value);
+            break;
+        }
+
+        case Op::Beq:
+        case Op::Bne:
+        case Op::Blt:
+        case Op::Bge: {
+            bool taken = false;
+            switch (d.op) {
+                case Op::Beq: taken = a == b; break;
+                case Op::Bne: taken = a != b; break;
+                case Op::Blt: taken = static_cast<i32>(a) < static_cast<i32>(b); break;
+                default: taken = static_cast<i32>(a) >= static_cast<i32>(b); break;
+            }
+            if (taken) {
+                pc_word_ = static_cast<u32>(static_cast<i64>(pc_word_) + 1 + d.imm);
+                advance(cfg_.timing.branch_taken_extra);
+            } else {
+                ++pc_word_;
+            }
+            break;
+        }
+        case Op::J:
+            pc_word_ = static_cast<u32>(static_cast<i64>(pc_word_) + 1 + d.imm);
+            advance(cfg_.timing.branch_taken_extra);
+            break;
+        case Op::Jal:
+            write_reg(u8(kLr), pc_word_ + 1);
+            pc_word_ = static_cast<u32>(static_cast<i64>(pc_word_) + 1 + d.imm);
+            advance(cfg_.timing.branch_taken_extra);
+            break;
+        case Op::Jr:
+            pc_word_ = a;
+            advance(cfg_.timing.branch_taken_extra);
+            break;
+
+        case Op::Nop: next(); break;
+        case Op::Halt:
+            state_ = State::Halted;
+            halt_cycle_ = cycle_;
+            break;
+    }
+}
+
+void CpuCore::mem_progress() {
+    // Command accept (both read command consume and posted-write completion).
+    if (req_.active && !req_.accepted && ch_.s_cmd_accept) {
+        req_.accepted = true;
+        if (memop_ == MemOp::Store) {
+            req_ = Request{};
+            memop_ = MemOp::None;
+            ++pc_word_;
+            state_ = State::Run;
+            return;
+        }
+    }
+    if (!req_.active || !ocp::is_read(req_.cmd)) return;
+
+    // Response beats.
+    if (ch_.s_resp != ocp::Resp::None) {
+        const u32 beat =
+            (ch_.s_resp == ocp::Resp::Err) ? kPoison : ch_.s_data;
+        if (ch_.s_resp == ocp::Resp::Err) ++stats_.bus_errors;
+        req_.buf[req_.beats] = beat;
+        ++req_.beats;
+        const bool last = ch_.s_resp_last || req_.beats == req_.burst;
+        if (!last) return;
+
+        switch (memop_) {
+            case MemOp::IFetch:
+                icache_.fill(req_.addr,
+                             std::span<const u32>{req_.buf.data(), req_.burst});
+                // pc unchanged: the fetch retries next cycle and hits.
+                break;
+            case MemOp::LoadRefill: {
+                dcache_.fill(req_.addr,
+                             std::span<const u32>{req_.buf.data(), req_.burst});
+                const u32 word_idx = (pending_addr_ - req_.addr) / 4u;
+                write_reg(pending_rd_, req_.buf[word_idx]);
+                ++pc_word_;
+                break;
+            }
+            case MemOp::LoadUncached:
+                write_reg(pending_rd_, req_.buf[0]);
+                ++pc_word_;
+                break;
+            default:
+                break;
+        }
+        req_ = Request{};
+        memop_ = MemOp::None;
+        state_ = State::Run;
+    }
+}
+
+} // namespace tgsim::cpu

@@ -1,0 +1,97 @@
+#include "cpu/isa.hpp"
+
+#include <sstream>
+
+namespace tgsim::cpu {
+
+DecodedInstr decode(u32 word) noexcept {
+    DecodedInstr d;
+    d.op = static_cast<Op>((word >> 24) & 0xFFu);
+    d.rd = static_cast<u8>((word >> 20) & 0xFu);
+    d.rs = static_cast<u8>((word >> 16) & 0xFu);
+    d.rt = static_cast<u8>((word >> 12) & 0xFu);
+    const unsigned bits = imm_bits(d.op);
+    d.imm = signed_imm(d.op)
+                ? sign_extend(word, bits)
+                : static_cast<i32>(word & ((1u << bits) - 1u));
+    return d;
+}
+
+std::string mnemonic(Op op) {
+    switch (op) {
+        case Op::Add: return "add";
+        case Op::Sub: return "sub";
+        case Op::And: return "and";
+        case Op::Or: return "or";
+        case Op::Xor: return "xor";
+        case Op::Sll: return "sll";
+        case Op::Srl: return "srl";
+        case Op::Sra: return "sra";
+        case Op::Mul: return "mul";
+        case Op::Slt: return "slt";
+        case Op::Sltu: return "sltu";
+        case Op::Addi: return "addi";
+        case Op::Andi: return "andi";
+        case Op::Ori: return "ori";
+        case Op::Xori: return "xori";
+        case Op::Slli: return "slli";
+        case Op::Srli: return "srli";
+        case Op::Srai: return "srai";
+        case Op::Slti: return "slti";
+        case Op::Movi: return "movi";
+        case Op::Lui: return "lui";
+        case Op::Ld: return "ld";
+        case Op::St: return "st";
+        case Op::Beq: return "beq";
+        case Op::Bne: return "bne";
+        case Op::Blt: return "blt";
+        case Op::Bge: return "bge";
+        case Op::J: return "j";
+        case Op::Jal: return "jal";
+        case Op::Jr: return "jr";
+        case Op::Nop: return "nop";
+        case Op::Halt: return "halt";
+    }
+    return "op?";
+}
+
+std::string disassemble(u32 word) {
+    const DecodedInstr d = decode(word);
+    std::ostringstream os;
+    os << mnemonic(d.op);
+    auto r = [](u8 n) { return "r" + std::to_string(n); };
+    switch (d.op) {
+        case Op::Add: case Op::Sub: case Op::And: case Op::Or:
+        case Op::Xor: case Op::Sll: case Op::Srl: case Op::Sra:
+        case Op::Mul: case Op::Slt: case Op::Sltu:
+            os << ' ' << r(d.rd) << ", " << r(d.rs) << ", " << r(d.rt);
+            break;
+        case Op::Addi: case Op::Andi: case Op::Ori: case Op::Xori:
+        case Op::Slli: case Op::Srli: case Op::Srai: case Op::Slti:
+            os << ' ' << r(d.rd) << ", " << r(d.rs) << ", " << d.imm;
+            break;
+        case Op::Movi: case Op::Lui:
+            os << ' ' << r(d.rd) << ", " << d.imm;
+            break;
+        case Op::Ld:
+            os << ' ' << r(d.rd) << ", [" << r(d.rs) << '+' << d.imm << ']';
+            break;
+        case Op::St:
+            os << ' ' << r(d.rt) << ", [" << r(d.rs) << '+' << d.imm << ']';
+            break;
+        case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
+            os << ' ' << r(d.rs) << ", " << r(d.rt) << ", " << d.imm;
+            break;
+        case Op::J: case Op::Jal:
+            os << ' ' << d.imm;
+            break;
+        case Op::Jr:
+            os << ' ' << r(d.rs);
+            break;
+        case Op::Nop: case Op::Halt:
+            break;
+    }
+    return os.str();
+}
+
+} // namespace tgsim::cpu

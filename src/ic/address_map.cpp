@@ -1,0 +1,27 @@
+#include "ic/address_map.hpp"
+
+#include <stdexcept>
+
+namespace tgsim::ic {
+
+std::size_t AddressMap::add_range(u32 base, u32 size) {
+    if (size == 0) throw std::invalid_argument{"AddressMap: zero-size range"};
+    const u64 end = u64{base} + size;
+    for (const Range& r : ranges_) {
+        const u64 rend = u64{r.base} + r.size;
+        if (base < rend && u64{r.base} < end)
+            throw std::invalid_argument{"AddressMap: overlapping range"};
+    }
+    const std::size_t index = ranges_.size();
+    ranges_.push_back(Range{base, size, index});
+    return index;
+}
+
+std::optional<std::size_t> AddressMap::decode(u32 addr) const noexcept {
+    for (const Range& r : ranges_) {
+        if (addr >= r.base && addr - r.base < r.size) return r.index;
+    }
+    return std::nullopt;
+}
+
+} // namespace tgsim::ic

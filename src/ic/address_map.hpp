@@ -1,0 +1,34 @@
+// Address decoder shared by all interconnect models.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace tgsim::ic {
+
+/// Maps byte addresses to slave-port indices via non-overlapping ranges.
+class AddressMap {
+public:
+    struct Range {
+        u32 base = 0;
+        u32 size = 0;
+        std::size_t index = 0;
+    };
+
+    /// Registers [base, base+size) for the next slave index; throws on
+    /// overlap or zero size. Returns the assigned index.
+    std::size_t add_range(u32 base, u32 size);
+
+    /// Slave index owning `addr`, or nullopt on decode failure.
+    [[nodiscard]] std::optional<std::size_t> decode(u32 addr) const noexcept;
+
+    [[nodiscard]] std::size_t range_count() const noexcept { return ranges_.size(); }
+    [[nodiscard]] const Range& range(std::size_t i) const { return ranges_.at(i); }
+
+private:
+    std::vector<Range> ranges_;
+};
+
+} // namespace tgsim::ic

@@ -1,0 +1,102 @@
+#include "ic/amba/ahb_bus.hpp"
+
+namespace tgsim::ic {
+
+std::size_t AhbBus::connect_master(ocp::Channel& ch, int /*node*/) {
+    masters_.push_back(&ch);
+    stats_.grants.push_back(0);
+    stats_.wait_cycles.push_back(0);
+    return masters_.size() - 1;
+}
+
+std::size_t AhbBus::connect_slave(ocp::Channel& ch, u32 base, u32 size,
+                                  int /*node*/) {
+    const std::size_t idx = map_.add_range(base, size);
+    slaves_.push_back(&ch);
+    stats_.slave_transactions.push_back(0);
+    return idx;
+}
+
+int AhbBus::arbitrate() const noexcept {
+    const int n = static_cast<int>(masters_.size());
+    if (n == 0) return -1;
+    if (policy_ == Arbitration::FixedPriority) {
+        for (int i = 0; i < n; ++i)
+            if (masters_[i]->m_cmd != ocp::Cmd::Idle) return i;
+        return -1;
+    }
+    for (int k = 1; k <= n; ++k) {
+        const int i = (rr_last_ + k) % n;
+        if (masters_[i]->m_cmd != ocp::Cmd::Idle) return i;
+    }
+    return -1;
+}
+
+void AhbBus::eval() {
+    // Default-drive every wire this bus owns; the bridge re-drives the
+    // active ones below. Skipped entirely while the bus is quiescent and the
+    // wires are known clean (they persist).
+    if (bridge_.active() || wires_dirty_) {
+        for (ocp::Channel* m : masters_) m->clear_response();
+        for (ocp::Channel* s : slaves_) s->clear_request();
+        wires_dirty_ = false;
+    }
+
+    if (bridge_.active()) {
+        ++stats_.busy_cycles;
+        wires_dirty_ = true;
+        // Account contention: masters requesting while not owning the bus.
+        for (std::size_t i = 0; i < masters_.size(); ++i) {
+            if (masters_[i]->m_cmd != ocp::Cmd::Idle &&
+                static_cast<int>(i) != owner_)
+                stats_.wait_cycles[i] += 1;
+        }
+        if (bridge_.eval_cycle()) {
+            owner_ = -1;
+            target_slave_ = -1;
+        }
+        return;
+    }
+
+    const int winner = arbitrate();
+    if (winner < 0) {
+        ++stats_.idle_cycles;
+        return;
+    }
+    // Losing candidates of this grant cycle start waiting now.
+    for (std::size_t i = 0; i < masters_.size(); ++i) {
+        if (masters_[i]->m_cmd != ocp::Cmd::Idle &&
+            i != static_cast<std::size_t>(winner))
+            stats_.wait_cycles[i] += 1;
+    }
+    wires_dirty_ = true;
+
+    ocp::Channel& m = *masters_[winner];
+    const auto slave_idx = map_.decode(m.m_addr);
+    ocp::Channel* s = nullptr;
+    if (slave_idx) {
+        s = slaves_[*slave_idx];
+        stats_.slave_transactions[*slave_idx] += 1;
+        target_slave_ = static_cast<int>(*slave_idx);
+    } else {
+        ++stats_.decode_errors;
+        target_slave_ = -1;
+    }
+    owner_ = winner;
+    rr_last_ = winner;
+    stats_.grants[winner] += 1;
+    ++stats_.busy_cycles;
+    bridge_.start(m, s);
+    if (bridge_.eval_cycle()) {
+        owner_ = -1;
+        target_slave_ = -1;
+    }
+}
+
+u64 AhbBus::contention_cycles() const {
+    u64 total = 0;
+    for (const u64 w : stats_.wait_cycles) total += w;
+    return total;
+}
+
+} // namespace tgsim::ic

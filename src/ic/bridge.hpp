@@ -1,0 +1,61 @@
+// Transaction forwarding engine shared by the bus and crossbar models.
+//
+// A Bridge shepherds exactly one OCP transaction from a master channel to a
+// slave channel: it re-drives the request beats toward the slave, propagates
+// command accepts back to the master, and forwards response beats with the
+// master's ready signal. Timing (interconnect evaluates after masters and
+// slaves within a cycle — see sim/kernel.hpp):
+//
+//   * request beats reach the slave one cycle after the bridge drives them
+//     (registered request path),
+//   * response beats reach the master in the same cycle the slave drives
+//     them (combinational response path),
+//   * burst reads stream one beat per cycle; burst writes achieve one beat
+//     per two cycles (the master supplies the next beat only after seeing
+//     the previous accept).
+//
+// A bridge started with a null slave channel models an address-decode
+// failure: it synthesizes accepts and ERR response beats so the master is
+// never wedged.
+#pragma once
+
+#include "ocp/channel.hpp"
+
+namespace tgsim::ic {
+
+class Bridge {
+public:
+    /// Begins forwarding the transaction currently asserted on `master`.
+    /// The command wires must be non-idle. `slave` may be null (decode error).
+    void start(ocp::Channel& master, ocp::Channel* slave);
+
+    [[nodiscard]] bool active() const noexcept { return active_; }
+
+    /// Advances one interconnect eval cycle; drives both channels.
+    /// Returns true when the transaction completed during this call.
+    bool eval_cycle();
+
+    /// The master channel being served (null when inactive).
+    [[nodiscard]] const ocp::Channel* master() const noexcept { return m_; }
+
+private:
+    enum class Phase : u8 { Request, Response };
+
+    void drive_request_beat();
+    void eval_request();
+    void eval_response();
+
+    ocp::Channel* m_ = nullptr;
+    ocp::Channel* s_ = nullptr;
+    ocp::Cmd cmd_ = ocp::Cmd::Idle;
+    u32 addr_ = 0;
+    u16 burst_ = 1;
+    bool read_ = false;
+    Phase phase_ = Phase::Request;
+    bool pending_ = false;  ///< a request beat was driven and awaits accept
+    u16 beats_accepted_ = 0;
+    u16 beats_responded_ = 0;
+    bool active_ = false;
+};
+
+} // namespace tgsim::ic

@@ -1,0 +1,36 @@
+// Common interface implemented by every interconnect model (AMBA AHB-like
+// shared bus, STBus-like crossbar, ×pipes-like packet NoC). The platform
+// builder wires masters and slaves through this interface, so an experiment
+// can swap fabrics without touching anything else — the property the paper's
+// TG methodology exploits.
+#pragma once
+
+#include <cstddef>
+
+#include "ocp/channel.hpp"
+#include "sim/kernel.hpp"
+
+namespace tgsim::ic {
+
+class Interconnect : public sim::Clocked {
+public:
+    /// Attaches a master-side channel (the interconnect is the acceptor).
+    /// `node` is a topology placement hint used by mesh fabrics; bus-style
+    /// fabrics ignore it. Returns the master port index.
+    virtual std::size_t connect_master(ocp::Channel& ch, int node) = 0;
+
+    /// Attaches a slave-side channel decoded at [base, base+size).
+    /// Returns the slave port index.
+    virtual std::size_t connect_slave(ocp::Channel& ch, u32 base, u32 size,
+                                      int node) = 0;
+
+    /// Cycles during which at least one transaction was in flight.
+    [[nodiscard]] virtual u64 busy_cycles() const = 0;
+    /// Cycles a master spent requesting without being served (summed over
+    /// masters) — the contention measure used by the saturation analyses.
+    [[nodiscard]] virtual u64 contention_cycles() const = 0;
+
+    ~Interconnect() override = default;
+};
+
+} // namespace tgsim::ic

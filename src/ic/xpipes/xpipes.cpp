@@ -1,0 +1,415 @@
+#include "ic/xpipes/xpipes.hpp"
+
+#include <stdexcept>
+
+namespace tgsim::ic {
+
+namespace {
+constexpr u32 kPoison = 0xDEADBEEFu;
+} // namespace
+
+XpipesNetwork::XpipesNetwork(XpipesConfig cfg) : cfg_(cfg) {
+    if (cfg_.width == 0 || cfg_.height == 0)
+        throw std::invalid_argument{"XpipesNetwork: empty mesh"};
+    if (cfg_.fifo_depth < 2)
+        throw std::invalid_argument{"XpipesNetwork: fifo_depth must be >= 2"};
+    routers_.resize(node_count());
+    for (Router& r : routers_)
+        for (int p = 0; p < kNumPlanes; ++p)
+            for (int o = 0; o < kNumPorts; ++o) {
+                r.bound_in[p][o] = -1;
+                r.rr[p][o] = 0;
+            }
+    master_at_node_.assign(node_count(), -1);
+    slave_at_node_.assign(node_count(), -1);
+}
+
+std::size_t XpipesNetwork::connect_master(ocp::Channel& ch, int node) {
+    if (node < 0 || static_cast<u32>(node) >= node_count())
+        throw std::invalid_argument{"XpipesNetwork: master node out of range"};
+    if (master_at_node_[static_cast<std::size_t>(node)] >= 0)
+        throw std::invalid_argument{"XpipesNetwork: node already has a master NI"};
+    MasterNi ni;
+    ni.ch = &ch;
+    ni.node = static_cast<u16>(node);
+    masters_.push_back(std::move(ni));
+    master_at_node_[static_cast<std::size_t>(node)] =
+        static_cast<int>(masters_.size() - 1);
+    stats_.master_wait_cycles.push_back(0);
+    return masters_.size() - 1;
+}
+
+std::size_t XpipesNetwork::connect_slave(ocp::Channel& ch, u32 base, u32 size,
+                                         int node) {
+    if (node < 0 || static_cast<u32>(node) >= node_count())
+        throw std::invalid_argument{"XpipesNetwork: slave node out of range"};
+    if (slave_at_node_[static_cast<std::size_t>(node)] >= 0)
+        throw std::invalid_argument{"XpipesNetwork: node already has a slave NI"};
+    const std::size_t idx = map_.add_range(base, size);
+    SlaveNi ni;
+    ni.ch = &ch;
+    ni.node = static_cast<u16>(node);
+    slaves_.push_back(std::move(ni));
+    slave_at_node_[static_cast<std::size_t>(node)] =
+        static_cast<int>(slaves_.size() - 1);
+    slave_node_.push_back(static_cast<u16>(node));
+    return idx;
+}
+
+int XpipesNetwork::route(u16 node, const FlitHeader& hdr) const noexcept {
+    const u32 x = node % cfg_.width;
+    const u32 y = node / cfg_.width;
+    const u32 dx = hdr.dest_node % cfg_.width;
+    const u32 dy = hdr.dest_node / cfg_.width;
+    if (dx > x) return kEast;
+    if (dx < x) return kWest;
+    if (dy > y) return kSouth;
+    if (dy < y) return kNorth;
+    return hdr.is_resp ? kLocalMaster : kLocalSlave;
+}
+
+std::optional<std::size_t> XpipesNetwork::neighbor(u16 node, int port) const noexcept {
+    const u32 x = node % cfg_.width;
+    const u32 y = node / cfg_.width;
+    switch (port) {
+        case kNorth: return y > 0 ? std::optional<std::size_t>{node - cfg_.width} : std::nullopt;
+        case kSouth: return y + 1 < cfg_.height ? std::optional<std::size_t>{node + cfg_.width} : std::nullopt;
+        case kEast: return x + 1 < cfg_.width ? std::optional<std::size_t>{node + 1} : std::nullopt;
+        case kWest: return x > 0 ? std::optional<std::size_t>{node - 1} : std::nullopt;
+        default: return std::nullopt;
+    }
+}
+
+void XpipesNetwork::eval_master_ni(MasterNi& ni) {
+    ocp::Channel& ch = *ni.ch;
+    ch.clear_response();
+    switch (ni.st) {
+        case MasterNi::St::Idle: {
+            if (ch.m_cmd == ocp::Cmd::Idle) break;
+            if (!ni.tx.empty()) { // still draining the previous packet
+                stats_.master_wait_cycles[static_cast<std::size_t>(
+                    &ni - masters_.data())] += 1;
+                break;
+            }
+            ni.cmd = ch.m_cmd;
+            ni.burst = ocp::is_burst(ni.cmd)
+                           ? std::max<u16>(1, std::min<u16>(ch.m_burst, ocp::kMaxBurstLen))
+                           : u16{1};
+            ni.beats = 0;
+            ni.resp_sent = 0;
+            ni.rx.clear();
+            const auto slave_idx = map_.decode(ch.m_addr);
+            ni.err = !slave_idx;
+            any_activity_ = true;
+            if (ni.err) {
+                ++stats_.decode_errors;
+                ch.s_cmd_accept = true; // consume the first (or only) beat
+                if (ocp::is_write(ni.cmd)) {
+                    ni.beats = 1;
+                    ni.st = (ni.beats == ni.burst) ? MasterNi::St::Idle
+                                                   : MasterNi::St::CollectWrite;
+                } else {
+                    for (u16 i = 0; i < ni.burst; ++i) ni.rx.push_back(kPoison);
+                    ni.st = MasterNi::St::AwaitResp;
+                }
+                break;
+            }
+            Flit head;
+            head.kind = Flit::Kind::Head;
+            head.hdr.cmd = ni.cmd;
+            head.hdr.addr = ch.m_addr;
+            head.hdr.burst = ni.burst;
+            head.hdr.src_node = ni.node;
+            head.hdr.dest_node = slave_node_[*slave_idx];
+            head.hdr.is_resp = false;
+            ni.tx.push_back(head);
+            ++flits_active_;
+            ++stats_.packets_sent;
+            ch.s_cmd_accept = true;
+            if (ocp::is_write(ni.cmd)) {
+                Flit beat;
+                beat.kind = Flit::Kind::Payload;
+                beat.payload = ch.m_data;
+                ni.tx.push_back(beat);
+                ++flits_active_;
+                ni.beats = 1;
+                if (ni.beats == ni.burst) {
+                    ni.tx.push_back(Flit{Flit::Kind::Tail, 0, {}});
+                    ++flits_active_;
+                    ni.st = MasterNi::St::Idle;
+                } else {
+                    ni.st = MasterNi::St::CollectWrite;
+                }
+            } else {
+                ni.tx.push_back(Flit{Flit::Kind::Tail, 0, {}});
+                ++flits_active_;
+                ni.st = MasterNi::St::AwaitResp;
+            }
+            break;
+        }
+        case MasterNi::St::CollectWrite: {
+            if (!ocp::is_write(ch.m_cmd)) break; // master must hold the burst
+            ch.s_cmd_accept = true;
+            if (!ni.err) {
+                Flit beat;
+                beat.kind = Flit::Kind::Payload;
+                beat.payload = ch.m_data;
+                ni.tx.push_back(beat);
+                ++flits_active_;
+            }
+            ++ni.beats;
+            if (ni.beats == ni.burst) {
+                if (!ni.err) {
+                    ni.tx.push_back(Flit{Flit::Kind::Tail, 0, {}});
+                    ++flits_active_;
+                }
+                ni.st = MasterNi::St::Idle;
+            }
+            any_activity_ = true;
+            break;
+        }
+        case MasterNi::St::AwaitResp: {
+            if (ni.rx.empty() || !ch.m_resp_accept) break;
+            ch.s_resp = ni.err ? ocp::Resp::Err : ocp::Resp::Dva;
+            ch.s_data = ni.rx.front();
+            ch.s_resp_last = (ni.resp_sent + 1 == ni.burst);
+            ni.rx.pop_front();
+            ++ni.resp_sent;
+            if (ni.resp_sent == ni.burst) ni.st = MasterNi::St::Idle;
+            any_activity_ = true;
+            break;
+        }
+    }
+}
+
+void XpipesNetwork::eval_slave_ni(SlaveNi& ni) {
+    ocp::Channel& ch = *ni.ch;
+    ch.clear_request();
+    switch (ni.st) {
+        case SlaveNi::St::Idle: {
+            if (!ni.rx_has_packet) break;
+            // Pop one whole packet (Head .. Tail).
+            ni.hdr = ni.rx.front().hdr;
+            ni.rx.pop_front();
+            ni.wdata.clear();
+            while (!ni.rx.empty() && ni.rx.front().kind == Flit::Kind::Payload) {
+                ni.wdata.push_back(ni.rx.front().payload);
+                ni.rx.pop_front();
+            }
+            // Tail
+            ni.rx.pop_front();
+            ni.rx_has_packet = false;
+            for (const Flit& f : ni.rx)
+                if (f.kind == Flit::Kind::Tail) ni.rx_has_packet = true;
+            ni.beats_driven = 0;
+            ni.beats_resp = 0;
+            ni.pending = false;
+            ni.st = SlaveNi::St::DriveReq;
+            [[fallthrough]];
+        }
+        case SlaveNi::St::DriveReq: {
+            any_activity_ = true;
+            const bool accepted = ni.pending && ch.s_cmd_accept;
+            if (accepted) {
+                ni.pending = false;
+                ++ni.beats_driven;
+                if (ocp::is_read(ni.hdr.cmd)) {
+                    ni.st = SlaveNi::St::AwaitResp;
+                    break;
+                }
+                if (ni.beats_driven == ni.hdr.burst) {
+                    ni.st = SlaveNi::St::Idle;
+                    break;
+                }
+            }
+            // Drive the current beat (write data comes from the packet
+            // buffer, so there is no bubble between beats).
+            ch.m_cmd = ni.hdr.cmd;
+            ch.m_addr = ni.hdr.addr;
+            ch.m_burst = ni.hdr.burst;
+            ch.m_data = ocp::is_write(ni.hdr.cmd) && ni.beats_driven < ni.wdata.size()
+                            ? ni.wdata[ni.beats_driven]
+                            : 0;
+            ni.pending = true;
+            break;
+        }
+        case SlaveNi::St::AwaitResp: {
+            any_activity_ = true;
+            if (ch.s_resp == ocp::Resp::None) break;
+            ch.m_resp_accept = true;
+            if (ni.beats_resp == 0) {
+                Flit head;
+                head.kind = Flit::Kind::Head;
+                head.hdr = ni.hdr;
+                head.hdr.is_resp = true;
+                head.hdr.dest_node = ni.hdr.src_node;
+                head.hdr.src_node = ni.node;
+                ni.tx.push_back(head);
+                ++flits_active_;
+                ++stats_.packets_sent;
+            }
+            Flit beat;
+            beat.kind = Flit::Kind::Payload;
+            beat.payload = (ch.s_resp == ocp::Resp::Err) ? kPoison : ch.s_data;
+            ni.tx.push_back(beat);
+            ++flits_active_;
+            ++ni.beats_resp;
+            if (ni.beats_resp == ni.hdr.burst) {
+                ni.tx.push_back(Flit{Flit::Kind::Tail, 0, {}});
+                ++flits_active_;
+                ni.st = SlaveNi::St::Idle;
+            }
+            break;
+        }
+    }
+}
+
+void XpipesNetwork::inject(std::deque<Flit>& tx, u16 node, int port, int plane) {
+    if (tx.empty()) return;
+    auto& fifo = routers_[node].in[plane][port];
+    if (fifo.size() >= cfg_.fifo_depth) return;
+    fifo.push_back(tx.front());
+    tx.pop_front();
+    any_activity_ = true;
+}
+
+void XpipesNetwork::eval_routers() {
+    struct Move {
+        std::size_t router = 0;
+        int plane = 0;
+        int in_port = 0;
+        // Destination: either a neighbour router FIFO or a local NI.
+        bool to_ni = false;
+        std::size_t dst_router = 0;
+        int dst_port = 0;
+        int ni_index = 0;
+        bool ni_is_master = false;
+    };
+
+    // Snapshot capacities.
+    const std::size_t n = routers_.size();
+    static thread_local std::vector<u32> sizes;
+    sizes.assign(n * kNumPlanes * kNumPorts, 0);
+    const auto slot = [this](std::size_t r, int p, int port) {
+        return (r * kNumPlanes + static_cast<std::size_t>(p)) * kNumPorts +
+               static_cast<std::size_t>(port);
+    };
+    for (std::size_t r = 0; r < n; ++r)
+        for (int p = 0; p < kNumPlanes; ++p)
+            for (int port = 0; port < kNumPorts; ++port)
+                sizes[slot(r, p, port)] =
+                    static_cast<u32>(routers_[r].in[p][port].size());
+
+    const u32 ni_rx_cap = ocp::kMaxBurstLen + 4;
+    std::vector<Move> moves;
+    moves.reserve(16);
+
+    for (std::size_t r = 0; r < n; ++r) {
+        Router& rt = routers_[r];
+        for (int p = 0; p < kNumPlanes; ++p) {
+            for (int out = 0; out < kNumPorts; ++out) {
+                // Responses leave through LM, requests through LS; N/S/E/W
+                // carry both planes.
+                if (out == kLocalMaster && p == 0) continue;
+                if (out == kLocalSlave && p == 1) continue;
+
+                int src = rt.bound_in[p][out];
+                if (src < 0) {
+                    // Allocate: round-robin over inputs with a Head flit
+                    // routed to this output.
+                    for (int k = 0; k < kNumPorts; ++k) {
+                        const int i = (rt.rr[p][out] + k) % kNumPorts;
+                        const auto& q = rt.in[p][i];
+                        if (q.empty() || q.front().kind != Flit::Kind::Head)
+                            continue;
+                        if (route(static_cast<u16>(r), q.front().hdr) != out)
+                            continue;
+                        src = i;
+                        rt.bound_in[p][out] = i;
+                        rt.rr[p][out] = (i + 1) % kNumPorts;
+                        break;
+                    }
+                }
+                if (src < 0) continue;
+                const auto& q = rt.in[p][src];
+                if (q.empty()) continue;
+
+                Move mv;
+                mv.router = r;
+                mv.plane = p;
+                mv.in_port = src;
+                if (out == kLocalMaster || out == kLocalSlave) {
+                    mv.to_ni = true;
+                    mv.ni_is_master = (out == kLocalMaster);
+                    const int ni = mv.ni_is_master
+                                       ? master_at_node_[r]
+                                       : slave_at_node_[r];
+                    if (ni < 0) continue; // routed to a node without an NI: stuck
+                    mv.ni_index = ni;
+                    const std::size_t rx_size =
+                        mv.ni_is_master
+                            ? masters_[static_cast<std::size_t>(ni)].rx.size()
+                            : slaves_[static_cast<std::size_t>(ni)].rx.size();
+                    if (rx_size >= ni_rx_cap) continue;
+                } else {
+                    const auto nbr = neighbor(static_cast<u16>(r), out);
+                    if (!nbr) continue; // mesh edge: XY routing never does this
+                    mv.dst_router = *nbr;
+                    mv.dst_port = (out == kNorth)   ? kSouth
+                                  : (out == kSouth) ? kNorth
+                                  : (out == kEast)  ? kWest
+                                                    : kEast;
+                    if (sizes[slot(*nbr, p, mv.dst_port)] >= cfg_.fifo_depth)
+                        continue;
+                }
+                moves.push_back(mv);
+                // Advance / release the wormhole binding bookkeeping now:
+                // the move is committed.
+                if (q.front().kind == Flit::Kind::Tail)
+                    rt.bound_in[p][out] = -1;
+                else
+                    rt.bound_in[p][out] = src;
+            }
+        }
+    }
+
+    // Apply all moves.
+    for (const Move& mv : moves) {
+        auto& q = routers_[mv.router].in[mv.plane][mv.in_port];
+        Flit flit = q.front();
+        q.pop_front();
+        ++stats_.flits_routed;
+        any_activity_ = true;
+        if (mv.to_ni) {
+            --flits_active_;
+            if (mv.ni_is_master) {
+                MasterNi& ni = masters_[static_cast<std::size_t>(mv.ni_index)];
+                if (flit.kind == Flit::Kind::Payload) ni.rx.push_back(flit.payload);
+            } else {
+                SlaveNi& ni = slaves_[static_cast<std::size_t>(mv.ni_index)];
+                ni.rx.push_back(flit);
+                if (flit.kind == Flit::Kind::Tail) ni.rx_has_packet = true;
+            }
+        } else {
+            routers_[mv.dst_router].in[mv.plane][mv.dst_port].push_back(flit);
+        }
+    }
+}
+
+void XpipesNetwork::eval() {
+    any_activity_ = false;
+    for (MasterNi& ni : masters_) eval_master_ni(ni);
+    for (SlaveNi& ni : slaves_) eval_slave_ni(ni);
+    if (flits_active_ > 0) eval_routers();
+    for (MasterNi& ni : masters_) inject(ni.tx, ni.node, kLocalMaster, 0);
+    for (SlaveNi& ni : slaves_) inject(ni.tx, ni.node, kLocalSlave, 1);
+    if (any_activity_) ++stats_.busy_cycles;
+}
+
+u64 XpipesNetwork::contention_cycles() const {
+    u64 total = 0;
+    for (const u64 w : stats_.master_wait_cycles) total += w;
+    return total;
+}
+
+} // namespace tgsim::ic

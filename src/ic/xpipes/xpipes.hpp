@@ -1,0 +1,152 @@
+// ×pipes-like packet-switched 2D-mesh NoC.
+//
+// Behavioural cycle-true model of a wormhole-switched mesh:
+//
+//   * network interfaces (NIs) packetize OCP transactions into flit streams
+//     (Head carrying {cmd, addr, burst, source}, one Payload flit per data
+//     beat, Tail) and reassemble them at the far end;
+//   * routers are input-buffered with per-output round-robin wormhole
+//     allocation, XY routing and one flit per link per cycle;
+//   * requests and responses travel on two separate buffer planes (virtual
+//     networks), which removes request/response protocol deadlock;
+//   * posted writes complete at the master NI once all beats are buffered —
+//     network delivery is decoupled, unlike the shared-bus model.
+//
+// Each mesh node hosts at most one master NI and one slave NI (router ports
+// LM and LS). The platform co-locates a core with its private memory and
+// places shared slaves on their own nodes.
+//
+// Compared to the AHB model this fabric has higher zero-load latency but
+// concurrent transfers — the architectural contrast used by the paper's
+// cross-interconnect validation (identical .tgp programs, different cycle
+// counts).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "ic/address_map.hpp"
+#include "ic/interconnect.hpp"
+
+namespace tgsim::ic {
+
+struct XpipesConfig {
+    u32 width = 3;
+    u32 height = 3;
+    u32 fifo_depth = 4; ///< flits per router input FIFO
+};
+
+struct XpipesStats {
+    u64 busy_cycles = 0;
+    u64 flits_routed = 0;   ///< link traversals
+    u64 packets_sent = 0;
+    u64 decode_errors = 0;
+    std::vector<u64> master_wait_cycles; ///< command asserted, NI busy
+};
+
+class XpipesNetwork final : public Interconnect {
+public:
+    explicit XpipesNetwork(XpipesConfig cfg);
+
+    /// `node` is required (0 <= node < width*height); one master NI per node.
+    std::size_t connect_master(ocp::Channel& ch, int node) override;
+    /// One slave NI per node.
+    std::size_t connect_slave(ocp::Channel& ch, u32 base, u32 size,
+                              int node) override;
+
+    void eval() override;
+    void update() override {}
+    [[nodiscard]] Cycle quiet_for() const override {
+        return (!any_activity_ && flits_active_ == 0) ? sim::kQuietForever : 0;
+    }
+
+    [[nodiscard]] const XpipesStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] u64 busy_cycles() const override { return stats_.busy_cycles; }
+    [[nodiscard]] u64 contention_cycles() const override;
+    [[nodiscard]] u32 node_count() const noexcept { return cfg_.width * cfg_.height; }
+
+private:
+    // Router ports.
+    static constexpr int kNorth = 0;
+    static constexpr int kSouth = 1;
+    static constexpr int kEast = 2;
+    static constexpr int kWest = 3;
+    static constexpr int kLocalMaster = 4; ///< master NI side
+    static constexpr int kLocalSlave = 5;  ///< slave NI side
+    static constexpr int kNumPorts = 6;
+    static constexpr int kNumPlanes = 2; ///< 0 = requests, 1 = responses
+
+    struct FlitHeader {
+        ocp::Cmd cmd = ocp::Cmd::Idle;
+        u32 addr = 0;
+        u16 burst = 1;
+        u16 src_node = 0;  ///< requester's node (response routing)
+        u16 dest_node = 0; ///< routing target
+        bool is_resp = false;
+    };
+
+    struct Flit {
+        enum class Kind : u8 { Head, Payload, Tail };
+        Kind kind = Kind::Head;
+        u32 payload = 0;
+        FlitHeader hdr; ///< meaningful on Head flits only
+    };
+
+    struct Router {
+        std::deque<Flit> in[kNumPlanes][kNumPorts];
+        int bound_in[kNumPlanes][kNumPorts]; ///< wormhole binding per output
+        int rr[kNumPlanes][kNumPorts];       ///< round-robin pointer per output
+    };
+
+    struct MasterNi {
+        ocp::Channel* ch = nullptr;
+        u16 node = 0;
+        enum class St : u8 { Idle, CollectWrite, AwaitResp } st = St::Idle;
+        ocp::Cmd cmd = ocp::Cmd::Idle;
+        u16 burst = 1;
+        u16 beats = 0;     ///< accepted write beats
+        u16 resp_sent = 0; ///< response beats forwarded to the master
+        bool err = false;  ///< decode failure: synthesize ERR beats
+        std::deque<Flit> tx; ///< flits awaiting injection (plane 0)
+        std::deque<u32> rx;  ///< response payload beats received
+    };
+
+    struct SlaveNi {
+        ocp::Channel* ch = nullptr;
+        u16 node = 0;
+        std::deque<Flit> rx; ///< incoming request flits (bounded)
+        bool rx_has_packet = false;
+        enum class St : u8 { Idle, DriveReq, AwaitResp } st = St::Idle;
+        FlitHeader hdr;
+        std::vector<u32> wdata;
+        u16 beats_driven = 0;
+        u16 beats_resp = 0;
+        bool pending = false;
+        std::deque<Flit> tx; ///< response flits awaiting injection (plane 1)
+    };
+
+    [[nodiscard]] int route(u16 node, const FlitHeader& hdr) const noexcept;
+    [[nodiscard]] std::optional<std::size_t> neighbor(u16 node, int port) const noexcept;
+
+    void eval_master_ni(MasterNi& ni);
+    void eval_slave_ni(SlaveNi& ni);
+    void eval_routers();
+    void inject(std::deque<Flit>& tx, u16 node, int port, int plane);
+
+    XpipesConfig cfg_;
+    AddressMap map_;
+    std::vector<Router> routers_;
+    std::vector<MasterNi> masters_;
+    std::vector<SlaveNi> slaves_;
+    std::vector<int> master_at_node_; ///< node -> master index or -1
+    std::vector<int> slave_at_node_;  ///< node -> slave index or -1
+    std::vector<u16> slave_node_;     ///< slave index -> node
+    XpipesStats stats_;
+    bool any_activity_ = false;
+    /// Flits currently inside the network (router FIFOs + NI tx queues);
+    /// the router phase is skipped when zero.
+    u32 flits_active_ = 0;
+};
+
+} // namespace tgsim::ic

@@ -1,0 +1,29 @@
+#include "mem/semaphore.hpp"
+
+namespace tgsim::mem {
+
+SemaphoreDevice::SemaphoreDevice(ocp::Channel& channel, SlaveTiming timing,
+                                 u32 base, u32 count, std::string name)
+    : SlaveDevice(channel, timing),
+      base_(base),
+      vals_(count, 1u), // all semaphores start free
+      name_(std::move(name)) {}
+
+u32 SemaphoreDevice::read_word(u32 addr) {
+    if (!contains(addr)) return 0;
+    const u32 idx = (addr - base_) / 4u;
+    const u32 old = vals_[idx];
+    vals_[idx] = 0; // test-and-set: reading locks the semaphore
+    if (old != 0)
+        ++acquisitions_;
+    else
+        ++failed_polls_;
+    return old;
+}
+
+void SemaphoreDevice::write_word(u32 addr, u32 data) {
+    if (!contains(addr)) return;
+    vals_[(addr - base_) / 4u] = data;
+}
+
+} // namespace tgsim::mem

@@ -1,0 +1,125 @@
+#include "mem/slave_device.hpp"
+
+#include <algorithm>
+
+namespace tgsim::mem {
+
+SlaveDevice::SlaveDevice(ocp::Channel& channel, SlaveTiming timing)
+    : ch_(channel), timing_(timing) {
+    timing_.beat_interval = std::max<u32>(1, timing_.beat_interval);
+}
+
+bool SlaveDevice::driving_response() const noexcept {
+    return state_ == State::Respond && gap_left_ == 0;
+}
+
+void SlaveDevice::eval() {
+    // Fast path: idle device, idle wires — nothing to latch or drive.
+    if (state_ == State::Idle && ch_.m_cmd == ocp::Cmd::Idle) {
+        latched_accept_ = false;
+        if (!wires_clean_) {
+            ch_.clear_response();
+            wires_clean_ = true;
+        }
+        return;
+    }
+    wires_clean_ = false;
+
+    // Latch the request group: the accept advertised this cycle applies to
+    // exactly these wire values.
+    latched_cmd_ = ch_.m_cmd;
+    latched_addr_ = ch_.m_addr;
+    latched_data_ = ch_.m_data;
+    latched_burst_ = ch_.m_burst;
+    const bool want_beat =
+        (state_ == State::Idle && latched_cmd_ != ocp::Cmd::Idle) ||
+        (state_ == State::WriteCollect && ocp::is_write(latched_cmd_));
+    latched_accept_ = want_beat;
+
+    ch_.clear_response();
+    ch_.s_cmd_accept = latched_accept_;
+    if (driving_response()) {
+        ch_.s_resp = ocp::Resp::Dva;
+        ch_.s_data = resp_buf_[beats_done_];
+        ch_.s_resp_last = (beats_done_ + 1 == cur_burst_);
+    }
+}
+
+void SlaveDevice::update() {
+    // Fast path: idle and nothing accepted this cycle.
+    if (state_ == State::Idle && !latched_accept_) return;
+    switch (state_) {
+        case State::Idle: {
+            if (!latched_accept_) break;
+            const auto cmd = latched_cmd_;
+            const u16 burst =
+                ocp::is_burst(cmd)
+                    ? std::min<u16>(latched_burst_, ocp::kMaxBurstLen)
+                    : u16{1};
+            cur_addr_ = latched_addr_;
+            cur_burst_ = std::max<u16>(1, burst);
+            beats_done_ = 0;
+            if (ocp::is_read(cmd)) {
+                ++reads_;
+                state_ = State::ReadWait;
+                wait_left_ = timing_.read_latency;
+            } else {
+                ++writes_;
+                write_word(cur_addr_, latched_data_);
+                beats_done_ = 1;
+                if (beats_done_ == cur_burst_) {
+                    wait_left_ = timing_.write_latency;
+                    state_ = (wait_left_ > 0) ? State::WriteBusy : State::Idle;
+                } else {
+                    state_ = State::WriteCollect;
+                }
+            }
+            break;
+        }
+        case State::WriteCollect: {
+            if (!latched_accept_) break;
+            write_word(cur_addr_ + 4u * beats_done_, latched_data_);
+            ++beats_done_;
+            if (beats_done_ == cur_burst_) {
+                wait_left_ = timing_.write_latency;
+                state_ = (wait_left_ > 0) ? State::WriteBusy : State::Idle;
+            }
+            break;
+        }
+        case State::ReadWait: {
+            if (wait_left_ > 0) --wait_left_;
+            if (wait_left_ == 0) {
+                for (u16 i = 0; i < cur_burst_; ++i)
+                    resp_buf_[i] = read_word(cur_addr_ + 4u * i);
+                beats_done_ = 0;
+                gap_left_ = 0;
+                state_ = State::Respond;
+            }
+            break;
+        }
+        case State::Respond: {
+            if (gap_left_ > 0) {
+                --gap_left_;
+                break;
+            }
+            // m_resp_accept is read live: the consumer (master or
+            // interconnect) drives it after our eval within this cycle.
+            if (ch_.m_resp_accept) {
+                ++beats_done_;
+                if (beats_done_ == cur_burst_) {
+                    state_ = State::Idle;
+                } else {
+                    gap_left_ = timing_.beat_interval - 1;
+                }
+            }
+            break;
+        }
+        case State::WriteBusy: {
+            if (wait_left_ > 0) --wait_left_;
+            if (wait_left_ == 0) state_ = State::Idle;
+            break;
+        }
+    }
+}
+
+} // namespace tgsim::mem

@@ -1,0 +1,65 @@
+// OCP channel wire bundle.
+//
+// One Channel connects exactly one requester (master side) to one acceptor
+// (slave side). Drive discipline (see sim/kernel.hpp for stage ordering):
+//
+//   * The master side drives the request group (m_*) in its eval() every
+//     cycle and holds a command until it has observed s_cmd_accept (sampled
+//     in update()). For burst writes it advances m_data to the next beat
+//     after each accepted beat; one s_cmd_accept consumes one beat.
+//   * The slave side drives s_cmd_accept and the response group (s_*) in its
+//     eval() every cycle. A response beat is held until m_resp_accept is
+//     observed.
+//
+// Because masters eval before interconnects and interconnects before slaves,
+// a command driven this cycle can be accepted this same cycle, while
+// responses crossing an interconnect incur one registered cycle — matching a
+// bus with a combinational address path and a registered read-data path.
+#pragma once
+
+#include "ocp/types.hpp"
+#include "sim/types.hpp"
+
+namespace tgsim::ocp {
+
+/// Maximum burst length supported by the protocol subset (beats).
+inline constexpr u16 kMaxBurstLen = 64;
+
+struct Channel {
+    // --- request group: driven by the master side ---
+    Cmd m_cmd = Cmd::Idle;
+    u32 m_addr = 0;     ///< byte address of the (first) beat
+    u32 m_data = 0;     ///< write data for the current beat
+    u16 m_burst = 1;    ///< total beats in the transaction
+    bool m_resp_accept = false; ///< master consumes the current response beat
+
+    // --- response group: driven by the slave side ---
+    bool s_cmd_accept = false; ///< slave consumes the current request beat
+    Resp s_resp = Resp::None;
+    u32 s_data = 0;
+    bool s_resp_last = false; ///< current response beat is the final beat
+
+    /// Resets the master-driven wires to the idle state.
+    void clear_request() noexcept {
+        m_cmd = Cmd::Idle;
+        m_addr = 0;
+        m_data = 0;
+        m_burst = 1;
+        m_resp_accept = false;
+    }
+
+    /// Resets the slave-driven wires to the idle state.
+    void clear_response() noexcept {
+        s_cmd_accept = false;
+        s_resp = Resp::None;
+        s_data = 0;
+        s_resp_last = false;
+    }
+
+    void clear() noexcept {
+        clear_request();
+        clear_response();
+    }
+};
+
+} // namespace tgsim::ocp

@@ -1,0 +1,64 @@
+// OCP channel monitor: reconstructs whole transactions from the wire-level
+// handshake. This is the attach point for the paper's trace collection — the
+// monitor watches one master interface and reports each completed transaction
+// (command, address, data beats, assert/accept/response timestamps).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ocp/channel.hpp"
+#include "sim/kernel.hpp"
+
+namespace tgsim::ocp {
+
+/// One completed OCP transaction as observed on a channel.
+struct TransactionRecord {
+    Cmd cmd = Cmd::Idle;
+    u32 addr = 0;
+    u16 burst_len = 1;
+    Cycle t_assert = 0;     ///< first cycle the command was driven
+    Cycle t_accept = 0;     ///< cycle the (last) request beat was accepted
+    Cycle t_resp_first = 0; ///< first response beat (reads; 0 for writes)
+    Cycle t_resp_last = 0;  ///< last response beat (reads; 0 for writes)
+    std::vector<u32> data;  ///< write beats as driven / read beats as returned
+};
+
+/// Watches a Channel every cycle (observer stage) and emits a
+/// TransactionRecord through the sink callback when a transaction completes.
+/// Writes complete at their final accepted beat; reads at their final
+/// response beat.
+class ChannelMonitor final : public sim::Clocked {
+public:
+    using Sink = std::function<void(const TransactionRecord&)>;
+
+    ChannelMonitor(const sim::Kernel& kernel, const Channel& channel, Sink sink)
+        : kernel_(kernel), ch_(channel), sink_(std::move(sink)) {}
+
+    void eval() override;
+    void update() override {}
+    [[nodiscard]] Cycle quiet_for() const override {
+        return (!active_ && ch_.m_cmd == Cmd::Idle) ? sim::kQuietForever : 0;
+    }
+
+    /// Total transactions observed.
+    [[nodiscard]] u64 transactions() const noexcept { return count_; }
+    /// Cycles in which the request group was non-idle (utilisation proxy).
+    [[nodiscard]] u64 busy_cycles() const noexcept { return busy_cycles_; }
+
+private:
+    void emit();
+
+    const sim::Kernel& kernel_;
+    const Channel& ch_;
+    Sink sink_;
+
+    bool active_ = false;          ///< a transaction is being assembled
+    bool awaiting_resp_ = false;   ///< read accepted, collecting responses
+    u16 beats_seen_ = 0;           ///< accepted write beats / read resp beats
+    TransactionRecord cur_;
+    u64 count_ = 0;
+    u64 busy_cycles_ = 0;
+};
+
+} // namespace tgsim::ocp

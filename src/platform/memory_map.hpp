@@ -1,0 +1,39 @@
+// Platform memory map (MPARM-like).
+//
+// Each core owns a private, cacheable memory window; shared memory and the
+// hardware semaphore bank are visible to all masters and are non-cacheable
+// (MPARM's coherence-by-construction). Code executes from the base of the
+// core's private window.
+#pragma once
+
+#include "sim/types.hpp"
+
+namespace tgsim::platform {
+
+inline constexpr u32 kPrivBase = 0x10000000u;
+inline constexpr u32 kPrivStride = 0x01000000u;
+inline constexpr u32 kPrivSize = 0x00040000u; // 256 KiB per core
+inline constexpr u32 kSharedBase = 0x20000000u;
+inline constexpr u32 kSharedSize = 0x00040000u; // 256 KiB
+inline constexpr u32 kSemBase = 0x30000000u;
+inline constexpr u32 kSemCount = 64u;
+
+[[nodiscard]] constexpr u32 priv_base(u32 core) noexcept {
+    return kPrivBase + core * kPrivStride;
+}
+[[nodiscard]] constexpr u32 sem_addr(u32 index) noexcept {
+    return kSemBase + 4u * index;
+}
+
+/// Offsets inside each private window used by the benchmarks.
+inline constexpr u32 kPrivScratch = 0x8000u;  // per-core scratch buffers
+inline constexpr u32 kPrivTables = 0x10000u;  // lookup tables (DES S-boxes)
+inline constexpr u32 kPrivData = 0x18000u;    // matrices etc.
+
+/// Offsets inside the shared window used by the benchmarks.
+inline constexpr u32 kSharedGoFlag = 0x000FCu;   // barrier release flag
+inline constexpr u32 kSharedDoneFlags = 0x00100u; // one word per core
+inline constexpr u32 kSharedStatus = 0x00200u;    // per-core status words
+inline constexpr u32 kSharedData = 0x01000u;      // benchmark data
+
+} // namespace tgsim::platform

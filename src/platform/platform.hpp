@@ -1,0 +1,142 @@
+// Platform builder: assembles a complete MPARM-like system — N masters
+// (cycle-true CPU cores or traffic generators), an interconnect (AMBA
+// AHB-like bus, STBus-like crossbar, or ×pipes-like mesh NoC), per-core
+// private memories, one shared memory and a hardware semaphore bank — wires
+// everything into a simulation kernel, optionally attaches trace monitors at
+// every master OCP interface, and runs to completion.
+//
+// The same Platform type hosts both halves of the paper's methodology:
+//
+//   reference run:  Platform(cfg) -> load_workload(w) -> run()  [+ traces]
+//   TG run:         Platform(cfg) -> load_tg_programs(...) -> run()
+//
+// A Platform instance represents one simulation; build a fresh one per run.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "cpu/core.hpp"
+#include "ic/amba/ahb_bus.hpp"
+#include "ic/crossbar/crossbar.hpp"
+#include "ic/xpipes/xpipes.hpp"
+#include "mem/memory.hpp"
+#include "mem/semaphore.hpp"
+#include "ocp/monitor.hpp"
+#include "platform/memory_map.hpp"
+#include "tg/stochastic.hpp"
+#include "tg/tg_core.hpp"
+#include "tg/trace.hpp"
+
+namespace tgsim::platform {
+
+enum class IcKind : u8 { Amba, Crossbar, Xpipes };
+
+[[nodiscard]] constexpr std::string_view to_string(IcKind k) noexcept {
+    switch (k) {
+        case IcKind::Amba: return "amba";
+        case IcKind::Crossbar: return "crossbar";
+        case IcKind::Xpipes: return "xpipes";
+    }
+    return "?";
+}
+
+struct PlatformConfig {
+    u32 n_cores = 2;
+    IcKind ic = IcKind::Amba;
+    ic::Arbitration arbitration = ic::Arbitration::RoundRobin;
+    mem::SlaveTiming priv_timing{1, 1, 1};
+    mem::SlaveTiming shared_timing{1, 1, 1};
+    mem::SlaveTiming sem_timing{1, 0, 1};
+    cpu::CacheConfig icache{4, 64};
+    cpu::CacheConfig dcache{4, 64};
+    cpu::CpuTiming cpu_timing{};
+    /// Mesh dimensions for IcKind::Xpipes; 0 = choose automatically.
+    ic::XpipesConfig xpipes{0, 0, 4};
+    bool collect_traces = false;
+    /// Kernel quiescence-skip bound (cycles); 0 disables. Bit-identical
+    /// results either way — only simulation wall time changes.
+    Cycle max_idle_skip = 1u << 20;
+};
+
+struct RunResult {
+    bool completed = false; ///< all masters halted within the cycle budget
+    Cycle cycles = 0;       ///< global completion time (paper's metric)
+    std::vector<Cycle> per_core;
+    double wall_seconds = 0.0;
+    u64 total_instructions = 0;
+};
+
+class Platform {
+public:
+    explicit Platform(PlatformConfig cfg);
+
+    /// Instantiates CPU masters and loads the workload (code, private data,
+    /// shared memory images).
+    void load_workload(const apps::Workload& w);
+
+    /// Instantiates TG masters from translated programs; `context` supplies
+    /// the initial shared-memory images (the environment must start in the
+    /// same state as the reference run).
+    void load_tg_programs(const std::vector<tg::TgProgram>& programs,
+                          const apps::Workload& context);
+
+    /// Instantiates stochastic traffic generators (the related-work baseline
+    /// of paper Sec. 2); one config per core.
+    void load_stochastic(const std::vector<tg::StochasticConfig>& configs,
+                         const apps::Workload& context);
+
+    /// Runs until every master halts or `max_cycles` elapse.
+    [[nodiscard]] RunResult run(Cycle max_cycles);
+
+    /// Collected traces (one per master; valid after run() when
+    /// cfg.collect_traces was set).
+    [[nodiscard]] const std::vector<tg::Trace>& traces() const noexcept {
+        return traces_;
+    }
+
+    /// Verifies the workload's expected memory values; returns true when all
+    /// pass, otherwise fills `msg` with the first mismatch.
+    [[nodiscard]] bool run_checks(const apps::Workload& w, std::string* msg) const;
+
+    /// Zero-time read of any decoded address (tests and checks).
+    [[nodiscard]] u32 peek(u32 addr) const;
+
+    [[nodiscard]] u32 n_cores() const noexcept { return cfg_.n_cores; }
+    [[nodiscard]] const PlatformConfig& config() const noexcept { return cfg_; }
+    [[nodiscard]] sim::Kernel& kernel() noexcept { return kernel_; }
+    [[nodiscard]] ic::Interconnect& interconnect() { return *ic_; }
+    [[nodiscard]] mem::MemorySlave& private_mem(u32 core) { return *privs_.at(core); }
+    [[nodiscard]] mem::MemorySlave& shared_mem() { return *shared_; }
+    [[nodiscard]] mem::SemaphoreDevice& semaphores() { return *sems_; }
+    [[nodiscard]] cpu::CpuCore& core(u32 i) { return *cpus_.at(i); }
+    [[nodiscard]] tg::TgCore& tg_core(u32 i) { return *tgs_.at(i); }
+    [[nodiscard]] bool has_cpus() const noexcept { return !cpus_.empty(); }
+    [[nodiscard]] ocp::Channel& master_channel(u32 i) { return *master_ch_.at(i); }
+
+private:
+    void build_fabric();
+    void apply_images(const apps::Workload& w, bool load_code);
+    void attach_monitors();
+    [[nodiscard]] bool all_done() const;
+
+    PlatformConfig cfg_;
+    sim::Kernel kernel_;
+    /// Contiguous channel storage (reserved up front; pointers stable).
+    /// Locality matters: the bus scans every master channel every cycle.
+    std::vector<ocp::Channel> channels_;
+    std::vector<ocp::Channel*> master_ch_;
+    std::unique_ptr<ic::Interconnect> ic_;
+    std::vector<std::unique_ptr<cpu::CpuCore>> cpus_;
+    std::vector<std::unique_ptr<tg::TgCore>> tgs_;
+    std::vector<std::unique_ptr<tg::StochasticTg>> stochs_;
+    std::vector<std::unique_ptr<mem::MemorySlave>> privs_;
+    std::unique_ptr<mem::MemorySlave> shared_;
+    std::unique_ptr<mem::SemaphoreDevice> sems_;
+    std::vector<std::unique_ptr<ocp::ChannelMonitor>> monitors_;
+    std::vector<tg::Trace> traces_;
+};
+
+} // namespace tgsim::platform

@@ -1,0 +1,93 @@
+#include "sim/kernel.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace tgsim::sim {
+
+void Kernel::add(Clocked& component, int stage, std::string name) {
+    slots_.push_back(Slot{&component, stage, slots_.size(), std::move(name)});
+    sorted_ = false;
+}
+
+void Kernel::sort_slots() {
+    std::stable_sort(slots_.begin(), slots_.end(), [](const Slot& a, const Slot& b) {
+        if (a.stage != b.stage) return a.stage < b.stage;
+        return a.order < b.order;
+    });
+    tick_order_.clear();
+    tick_order_.reserve(slots_.size());
+    for (const Slot& s : slots_) tick_order_.push_back(s.component);
+    sorted_ = true;
+}
+
+void Kernel::tick() {
+    if (!sorted_) sort_slots();
+    for (Clocked* c : tick_order_) c->eval();
+    for (Clocked* c : tick_order_) c->update();
+    ++now_;
+}
+
+Cycle Kernel::step(Cycle cap) {
+    tick();
+    if (cap == 0) return 1;
+    // Quiescence probe: bail out at the first non-quiet component. If every
+    // component is quiet indefinitely there is no upcoming event at all, so
+    // skipping would only inflate now_ past the end of time — don't.
+    Cycle q = kQuietForever;
+    for (Clocked* c : tick_order_) {
+        const Cycle cq = c->quiet_for();
+        if (cq < q) {
+            q = cq;
+            if (q == 0) return 1;
+        }
+    }
+    if (q == kQuietForever) return 1;
+    q = std::min(q, cap);
+    for (Clocked* c : tick_order_) c->advance(q);
+    now_ += q;
+    return 1 + q;
+}
+
+void Kernel::run(Cycle cycles) {
+    Cycle consumed = 0;
+    while (consumed < cycles) {
+        const Cycle budget = cycles - consumed - 1;
+        consumed += step(std::min(max_skip_, budget));
+    }
+}
+
+bool Kernel::run_until(const std::function<bool()>& done, Cycle max_cycles) {
+    Cycle consumed = 0;
+    while (consumed < max_cycles) {
+        if (done()) return true;
+        const Cycle budget = max_cycles - consumed - 1;
+        consumed += step(std::min(max_skip_, budget));
+    }
+    return done();
+}
+
+const std::string& Kernel::component_name(std::size_t index) const {
+    if (index >= slots_.size()) throw std::out_of_range{"Kernel::component_name"};
+    return slots_[index].name;
+}
+
+WallTimer::WallTimer() { restart(); }
+
+void WallTimer::restart() {
+    start_ns_ = static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+double WallTimer::seconds() const {
+    const u64 now_ns = static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    return static_cast<double>(now_ns - start_ns_) * 1e-9;
+}
+
+} // namespace tgsim::sim

@@ -1,0 +1,149 @@
+// Cycle-true two-phase simulation kernel.
+//
+// Every hardware block in the platform derives from Clocked and is registered
+// with the Kernel at a fixed evaluation stage. A kernel tick runs:
+//
+//   eval()   over all components in ascending (stage, registration) order,
+//   update() over all components in the same order.
+//
+// The convention used throughout tgsim is:
+//
+//   kStageMaster        masters drive OCP request wires,
+//   kStageSlave         slaves accept request beats and drive responses,
+//   kStageInterconnect  interconnects route between master and slave channels,
+//   kStageObserver      monitors sample the final wire state of the cycle.
+//
+// Slaves eval before interconnects so that an interconnect sees, within one
+// cycle, both fresh master requests (stage 0) and fresh slave accepts and
+// response beats (stage 1), and can forward them with registered-request /
+// combinational-response timing. Wire values persist across cycles until the
+// driver changes them, so a component evaluating earlier in the cycle than a
+// driver simply observes the driver's previous-cycle value — a one-cycle
+// registered path.
+//
+// Because the order is fixed and all communication flows through explicitly
+// modelled wire bundles, simulation results are bit-reproducible across runs
+// and hosts. All wires are driven in eval() only; update() reads wires and
+// mutates private state only.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace tgsim::sim {
+
+/// Evaluation stages; lower stages eval() first within a tick.
+inline constexpr int kStageMaster = 0;
+inline constexpr int kStageSlave = 1;
+inline constexpr int kStageInterconnect = 2;
+inline constexpr int kStageObserver = 3;
+
+/// Returned by Clocked::quiet_for() when a component is inert indefinitely
+/// (as long as its inputs do not change).
+inline constexpr Cycle kQuietForever = ~Cycle{0};
+
+/// Interface implemented by every clocked hardware block.
+class Clocked {
+public:
+    Clocked() = default;
+    Clocked(const Clocked&) = delete;
+    Clocked& operator=(const Clocked&) = delete;
+    virtual ~Clocked() = default;
+
+    /// Phase 1: combinational evaluation; may drive wire bundles.
+    virtual void eval() = 0;
+    /// Phase 2: sequential state update; may sample wire bundles.
+    virtual void update() = 0;
+
+    /// Quiescence contract (optional): the number of upcoming cycles during
+    /// which this component is guaranteed to neither change any wires nor
+    /// behave differently if ticked — PROVIDED its input wires also stay
+    /// unchanged. The kernel skips ahead only when every component is quiet,
+    /// which makes the input-stability premise self-fulfilling. Components
+    /// that cannot reason about this return 0 (the default), which disables
+    /// skipping while they are registered... and is always safe.
+    [[nodiscard]] virtual Cycle quiet_for() const { return 0; }
+
+    /// Fast-forwards internal time by `cycles` (only ever called with
+    /// 1 <= cycles <= quiet_for()). Must leave the component exactly as if
+    /// it had been ticked `cycles` times under unchanged inputs.
+    virtual void advance(Cycle cycles) { (void)cycles; }
+};
+
+/// Deterministic cycle-driven scheduler. Non-owning: components are owned by
+/// the platform (or the test) and must outlive the kernel they registered in.
+class Kernel {
+public:
+    Kernel() = default;
+
+    /// Registers a component at the given stage. Components registered at the
+    /// same stage evaluate in registration order.
+    void add(Clocked& component, int stage, std::string name = {});
+
+    /// Current cycle (number of completed ticks).
+    [[nodiscard]] Cycle now() const noexcept { return now_; }
+
+    /// Advances the simulation by one clock cycle.
+    void tick();
+
+    /// Enables quiescence skipping (see Clocked::quiet_for): after each tick
+    /// in run()/run_until(), if every component reports itself quiet, the
+    /// kernel fast-forwards up to `max_skip` cycles in one step. 0 disables
+    /// (the default). Results are bit-identical either way; only wall time
+    /// changes — this is the discrete-event shortcut SystemC-style platforms
+    /// (like the paper's MPARM) get from wait(n) threads.
+    void set_max_skip(Cycle max_skip) noexcept { max_skip_ = max_skip; }
+    [[nodiscard]] Cycle max_skip() const noexcept { return max_skip_; }
+
+    /// Advances by `cycles` ticks (honouring quiescence skipping).
+    void run(Cycle cycles);
+
+    /// Ticks until `done()` returns true or `max_cycles` elapse (whichever is
+    /// first). Returns true if `done()` fired, false on timeout.
+    bool run_until(const std::function<bool()>& done, Cycle max_cycles);
+
+    /// Number of registered components.
+    [[nodiscard]] std::size_t component_count() const noexcept { return slots_.size(); }
+
+    /// Name given at registration (empty if none); for diagnostics.
+    [[nodiscard]] const std::string& component_name(std::size_t index) const;
+
+private:
+    struct Slot {
+        Clocked* component = nullptr;
+        int stage = 0;
+        std::size_t order = 0;
+        std::string name;
+    };
+
+    void sort_slots();
+    /// One tick plus an optional quiescence skip bounded by `cap`; returns
+    /// the number of cycles consumed (>= 1).
+    Cycle step(Cycle cap);
+
+    std::vector<Slot> slots_;
+    /// Compact dispatch array rebuilt by sort_slots(); iterated every tick
+    /// so it stays free of cold metadata (names etc.).
+    std::vector<Clocked*> tick_order_;
+    bool sorted_ = true;
+    Cycle now_ = 0;
+    Cycle max_skip_ = 0;
+};
+
+/// Wall-clock stopwatch for speedup measurements (bench harnesses).
+class WallTimer {
+public:
+    WallTimer();
+    /// Seconds elapsed since construction or last restart().
+    [[nodiscard]] double seconds() const;
+    void restart();
+
+private:
+    u64 start_ns_ = 0;
+};
+
+} // namespace tgsim::sim

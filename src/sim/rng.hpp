@@ -1,0 +1,71 @@
+// Small deterministic RNG (splitmix64 / xoshiro256**) used by the stochastic
+// traffic-generator baseline and by property tests. std::mt19937 is avoided in
+// simulation components so that state is tiny and reproducible across
+// standard-library implementations.
+#pragma once
+
+#include <array>
+
+#include "sim/types.hpp"
+
+namespace tgsim::sim {
+
+/// xoshiro256** seeded via splitmix64. Deterministic across platforms.
+class Rng {
+public:
+    explicit Rng(u64 seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+    void reseed(u64 seed) {
+        u64 x = seed;
+        for (auto& word : state_) {
+            // splitmix64 step
+            x += 0x9E3779B97F4A7C15ull;
+            u64 z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /// Uniform 64-bit value.
+    u64 next() {
+        const u64 result = rotl(state_[1] * 5, 7) * 9;
+        const u64 t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform in [0, bound) ; bound must be nonzero.
+    u64 below(u64 bound) { return next() % bound; }
+
+    /// Uniform in [lo, hi] inclusive.
+    u64 range(u64 lo, u64 hi) { return lo + below(hi - lo + 1); }
+
+    /// Uniform double in [0, 1).
+    double uniform01() {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /// Bernoulli draw.
+    bool chance(double p) { return uniform01() < p; }
+
+    /// Geometric draw: number of failures before first success with
+    /// success probability p (p in (0,1]); used for Poisson-like gaps.
+    u64 geometric(double p) {
+        u64 n = 0;
+        while (!chance(p) && n < 100000) ++n;
+        return n;
+    }
+
+private:
+    static constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+    std::array<u64, 4> state_{};
+};
+
+} // namespace tgsim::sim

@@ -1,0 +1,124 @@
+#include "tg/stochastic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tgsim::tg {
+
+StochasticTg::StochasticTg(ocp::Channel& channel, StochasticConfig cfg)
+    : ch_(channel), cfg_(std::move(cfg)), rng_(cfg_.seed) {
+    if (cfg_.targets.empty())
+        throw std::invalid_argument{"StochasticTg: no targets"};
+    for (const auto& t : cfg_.targets) total_weight_ += std::max<u32>(1, t.weight);
+    gap_left_ = std::max<u64>(1, draw_gap());
+    if (cfg_.total_transactions == 0) state_ = State::Halted;
+}
+
+u64 StochasticTg::draw_gap() {
+    switch (cfg_.process) {
+        case ArrivalProcess::Uniform:
+            return rng_.range(cfg_.min_gap, std::max(cfg_.min_gap, cfg_.max_gap));
+        case ArrivalProcess::Poisson: {
+            const double p = std::clamp(cfg_.rate, 1e-6, 1.0);
+            return 1 + rng_.geometric(p);
+        }
+        case ArrivalProcess::Bursty:
+            if (train_left_ > 0) {
+                --train_left_;
+                return cfg_.intra_gap;
+            }
+            train_left_ = cfg_.train_len > 0 ? cfg_.train_len - 1 : 0;
+            return cfg_.inter_gap;
+    }
+    return 1;
+}
+
+u32 StochasticTg::draw_addr() {
+    u32 pick = static_cast<u32>(rng_.below(total_weight_));
+    for (const auto& t : cfg_.targets) {
+        const u32 w = std::max<u32>(1, t.weight);
+        if (pick < w) {
+            const u32 words = std::max<u32>(1, t.size / 4u);
+            return t.base + 4u * static_cast<u32>(rng_.below(words));
+        }
+        pick -= w;
+    }
+    return cfg_.targets.front().base;
+}
+
+void StochasticTg::eval() {
+    const bool drive =
+        req_.active &&
+        (!req_.accepted ||
+         (ocp::is_write(req_.cmd) && req_.wbeats < req_.burst));
+    if (drive) {
+        ch_.m_cmd = req_.cmd;
+        ch_.m_addr = req_.addr;
+        ch_.m_data = req_.data + req_.wbeats; // distinguishable beat values
+        ch_.m_burst = req_.burst;
+        ch_.m_resp_accept = ocp::is_read(req_.cmd);
+        wires_clean_ = false;
+    } else if (req_.active) {
+        ch_.m_cmd = ocp::Cmd::Idle;
+        ch_.m_addr = 0;
+        ch_.m_data = 0;
+        ch_.m_burst = 1;
+        ch_.m_resp_accept = ocp::is_read(req_.cmd);
+        wires_clean_ = false;
+    } else if (!wires_clean_) {
+        ch_.clear_request();
+        wires_clean_ = true;
+    }
+}
+
+void StochasticTg::update() {
+    ++cycle_;
+    switch (state_) {
+        case State::Halted:
+            break;
+        case State::Gap:
+            if (--gap_left_ == 0) state_ = State::Issue;
+            break;
+        case State::Issue: {
+            req_ = Request{};
+            req_.active = true;
+            const bool read = rng_.chance(cfg_.read_fraction);
+            const bool burst = rng_.chance(cfg_.burst_fraction);
+            req_.cmd = read ? (burst ? ocp::Cmd::BurstRead : ocp::Cmd::Read)
+                            : (burst ? ocp::Cmd::BurstWrite : ocp::Cmd::Write);
+            req_.burst = burst ? cfg_.burst_len : u16{1};
+            req_.addr = draw_addr();
+            req_.data = static_cast<u32>(rng_.next());
+            ++issued_;
+            state_ = State::MemWait;
+            break;
+        }
+        case State::MemWait: {
+            if (ocp::is_write(req_.cmd)) {
+                if (ch_.s_cmd_accept) {
+                    ++req_.wbeats;
+                    if (req_.wbeats == req_.burst) req_.active = false;
+                }
+            } else {
+                if (!req_.accepted && ch_.s_cmd_accept) req_.accepted = true;
+                if (ch_.s_resp != ocp::Resp::None) {
+                    ++req_.rbeats;
+                    if (ch_.s_resp_last || req_.rbeats == req_.burst)
+                        req_.active = false;
+                }
+            }
+            if (!req_.active) {
+                if (issued_ >= cfg_.total_transactions) {
+                    state_ = State::Halted;
+                    halt_cycle_ = cycle_;
+                } else {
+                    gap_left_ = std::max<u64>(1, draw_gap());
+                    state_ = State::Gap;
+                }
+            }
+            break;
+        }
+    }
+}
+
+} // namespace tgsim::tg

@@ -1,0 +1,144 @@
+// Traffic-generator instruction set (paper Table 1).
+//
+// The TG is a very simple multi-cycle instruction-set processor with an
+// instruction memory and a 16-entry register file but no data memory.
+// Register r0 is `rdreg`, the special register that receives the data of
+// every read response (last beat for bursts).
+//
+// Paper instructions: Read, Write, BurstRead, BurstWrite, If, Jump,
+// SetRegister, Idle. tgsim extensions (documented in DESIGN.md):
+//
+//   * Halt       — terminates the program so execution-time metrics exist
+//                  (the paper's examples rewind with Jump(start) instead);
+//   * IdleUntil  — waits until an absolute cycle; used by the "cloning"
+//                  translator mode of the Sec. 3 ablation;
+//   * IfImm      — If with an immediate right-hand side;
+//   * BurstWrite carries its data beats inline in instruction memory.
+//
+// Every instruction executes in exactly one TG cycle (the instruction store
+// is wide enough to deliver multi-word instructions in one fetch); Idle(n)
+// occupies n cycles; OCP instructions block until their transaction
+// completes (accept for writes, last response beat for reads).
+#pragma once
+
+#include <string_view>
+
+#include "sim/types.hpp"
+
+namespace tgsim::tg {
+
+enum class TgOp : u8 {
+    Read = 0x01,        ///< Read(areg) -> rdreg
+    Write = 0x02,       ///< Write(areg, dreg)
+    BurstRead = 0x03,   ///< BurstRead(areg, count) -> rdreg (last beat)
+    BurstWrite = 0x04,  ///< BurstWrite(areg, count) + inline beat words
+    If = 0x05,          ///< If(lhs_reg CMP rhs_reg) then <target>
+    IfImm = 0x06,       ///< If(lhs_reg CMP imm32) then <target>
+    Jump = 0x07,        ///< Jump(<target>)
+    SetRegister = 0x08, ///< SetRegister(reg, imm32)
+    Idle = 0x09,        ///< Idle(cycles)
+    IdleUntil = 0x0A,   ///< wait until absolute TG cycle (clone mode)
+    Halt = 0x0B,        ///< terminate
+};
+
+enum class TgCmp : u8 {
+    Eq = 0,
+    Ne = 1,
+    Ltu = 2, ///< unsigned <
+    Geu = 3, ///< unsigned >=
+    Lts = 4, ///< signed <
+    Ges = 5, ///< signed >=
+};
+
+inline constexpr int kTgNumRegs = 16;
+inline constexpr u8 kRdReg = 0; ///< r0 receives read response data
+
+[[nodiscard]] constexpr bool compare(TgCmp cmp, u32 lhs, u32 rhs) noexcept {
+    switch (cmp) {
+        case TgCmp::Eq: return lhs == rhs;
+        case TgCmp::Ne: return lhs != rhs;
+        case TgCmp::Ltu: return lhs < rhs;
+        case TgCmp::Geu: return lhs >= rhs;
+        case TgCmp::Lts: return static_cast<i32>(lhs) < static_cast<i32>(rhs);
+        case TgCmp::Ges: return static_cast<i32>(lhs) >= static_cast<i32>(rhs);
+    }
+    return false;
+}
+
+[[nodiscard]] constexpr std::string_view to_string(TgCmp cmp) noexcept {
+    switch (cmp) {
+        case TgCmp::Eq: return "==";
+        case TgCmp::Ne: return "!=";
+        case TgCmp::Ltu: return "<u";
+        case TgCmp::Geu: return ">=u";
+        case TgCmp::Lts: return "<s";
+        case TgCmp::Ges: return ">=s";
+    }
+    return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(TgOp op) noexcept {
+    switch (op) {
+        case TgOp::Read: return "Read";
+        case TgOp::Write: return "Write";
+        case TgOp::BurstRead: return "BurstRead";
+        case TgOp::BurstWrite: return "BurstWrite";
+        case TgOp::If: return "If";
+        case TgOp::IfImm: return "IfImm";
+        case TgOp::Jump: return "Jump";
+        case TgOp::SetRegister: return "SetRegister";
+        case TgOp::Idle: return "Idle";
+        case TgOp::IdleUntil: return "IdleUntil";
+        case TgOp::Halt: return "Halt";
+    }
+    return "?";
+}
+
+// Binary word-0 encoding: [31:24] op  [23:20] a  [19:16] b  [15:12] cmp
+// [11:0] imm12 (burst beat count). Additional operand words (imm32 /
+// branch target) follow word 0; BurstWrite is followed by its beat words.
+[[nodiscard]] constexpr u32 encode_w0(TgOp op, u8 a = 0, u8 b = 0,
+                                      TgCmp cmp = TgCmp::Eq,
+                                      u32 imm12 = 0) noexcept {
+    return (u32(op) << 24) | ((a & 0xFu) << 20) | ((b & 0xFu) << 16) |
+           (u32(cmp) << 12) | (imm12 & 0xFFFu);
+}
+
+struct TgWord0 {
+    TgOp op;
+    u8 a;
+    u8 b;
+    TgCmp cmp;
+    u32 imm12;
+};
+
+[[nodiscard]] constexpr TgWord0 decode_w0(u32 w) noexcept {
+    return TgWord0{static_cast<TgOp>((w >> 24) & 0xFFu),
+                   static_cast<u8>((w >> 20) & 0xFu),
+                   static_cast<u8>((w >> 16) & 0xFu),
+                   static_cast<TgCmp>((w >> 12) & 0xFu), w & 0xFFFu};
+}
+
+/// Total encoded words of the instruction starting with `w0`.
+[[nodiscard]] constexpr u32 encoded_words(const TgWord0& w0) noexcept {
+    switch (w0.op) {
+        case TgOp::Read:
+        case TgOp::Write:
+        case TgOp::BurstRead:
+        case TgOp::Halt:
+            return 1;
+        case TgOp::BurstWrite:
+            return 1 + w0.imm12;
+        case TgOp::If:
+        case TgOp::Jump:
+        case TgOp::SetRegister:
+        case TgOp::Idle:
+        case TgOp::IdleUntil:
+            return 2;
+        case TgOp::IfImm:
+            return 3;
+    }
+    return 1;
+}
+
+} // namespace tgsim::tg

@@ -1,0 +1,58 @@
+// Slave-side traffic-generator entities (paper Sec. 4).
+//
+// The paper identifies three TG entities; only the master TG is required in
+// a simulation environment (the simulator provides real slaves), but both
+// slave entities are "much simpler in design ... their logic basically just
+// involves a small state machine to handle OCP transactions". They are
+// provided for completeness and for NoC test-chip style setups where no
+// simulator slaves exist:
+//
+//   * SharedMemTgSlave (entity 2): backs a real data structure, because the
+//     values masters read from shared memory affect the transaction
+//     sequences they generate (e.g. semaphore polling).
+//   * DummySlaveTg (entity 3): responds to any transaction with generated
+//     dummy values; writes are accepted and discarded.
+#pragma once
+
+#include "mem/memory.hpp"
+#include "mem/slave_device.hpp"
+
+namespace tgsim::tg {
+
+/// Entity 2: a shared-memory TG slave — functionally a memory model with
+/// programmable access latencies. Type alias documents intent; behaviour is
+/// exactly mem::MemorySlave.
+using SharedMemTgSlave = mem::MemorySlave;
+
+/// Entity 3: responds to reads with a configurable pattern and ignores
+/// writes. The pattern is `base_value + word_index * stride`, which makes
+/// responses recognisable in waveforms without storing any state.
+class DummySlaveTg final : public mem::SlaveDevice {
+public:
+    DummySlaveTg(ocp::Channel& channel, mem::SlaveTiming timing, u32 base,
+                 u32 size, u32 base_value = 0xD0000000u, u32 stride = 1u)
+        : SlaveDevice(channel, timing),
+          base_(base),
+          size_(size),
+          base_value_(base_value),
+          stride_(stride) {}
+
+    [[nodiscard]] u32 base() const noexcept { return base_; }
+    [[nodiscard]] u32 size_bytes() const noexcept { return size_; }
+    [[nodiscard]] u64 writes_discarded() const noexcept { return discarded_; }
+
+protected:
+    u32 read_word(u32 addr) override {
+        return base_value_ + ((addr - base_) / 4u) * stride_;
+    }
+    void write_word(u32 /*addr*/, u32 /*data*/) override { ++discarded_; }
+
+private:
+    u32 base_;
+    u32 size_;
+    u32 base_value_;
+    u32 stride_;
+    u64 discarded_ = 0;
+};
+
+} // namespace tgsim::tg

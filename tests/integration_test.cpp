@@ -1,0 +1,280 @@
+// End-to-end tests of the paper's methodology: reference simulation with
+// cycle-true cores, trace collection, translation, TG replay — across all
+// four benchmarks and all three interconnects.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.hpp"
+
+namespace tgsim::test {
+namespace {
+
+using apps::Workload;
+using platform::IcKind;
+using platform::PlatformConfig;
+
+PlatformConfig make_cfg(u32 cores, IcKind ic) {
+    PlatformConfig cfg;
+    cfg.n_cores = cores;
+    cfg.ic = ic;
+    return cfg;
+}
+
+// --- Workloads execute correctly on CPU cores, every interconnect ---
+
+class WorkloadOnIc : public ::testing::TestWithParam<IcKind> {};
+
+TEST_P(WorkloadOnIc, SpMatrixComputesCorrectProduct) {
+    const Workload w = apps::make_sp_matrix({12});
+    platform::Platform p{make_cfg(1, GetParam())};
+    p.load_workload(w);
+    const auto res = p.run(kMaxCycles);
+    ASSERT_TRUE(res.completed);
+    std::string msg;
+    EXPECT_TRUE(p.run_checks(w, &msg)) << msg;
+}
+
+TEST_P(WorkloadOnIc, MpMatrixComputesCorrectProduct) {
+    const Workload w = apps::make_mp_matrix({3, 9});
+    platform::Platform p{make_cfg(3, GetParam())};
+    p.load_workload(w);
+    const auto res = p.run(kMaxCycles);
+    ASSERT_TRUE(res.completed);
+    std::string msg;
+    EXPECT_TRUE(p.run_checks(w, &msg)) << msg;
+}
+
+TEST_P(WorkloadOnIc, DesEncryptsAndVerifies) {
+    const Workload w = apps::make_des({3, 2});
+    platform::Platform p{make_cfg(3, GetParam())};
+    p.load_workload(w);
+    const auto res = p.run(kMaxCycles);
+    ASSERT_TRUE(res.completed);
+    std::string msg;
+    EXPECT_TRUE(p.run_checks(w, &msg)) << msg;
+}
+
+TEST_P(WorkloadOnIc, CacheloopHalts) {
+    const Workload w = apps::make_cacheloop({2, 2000});
+    platform::Platform p{make_cfg(2, GetParam())};
+    p.load_workload(w);
+    const auto res = p.run(kMaxCycles);
+    ASSERT_TRUE(res.completed);
+    // Both cores run the identical loop: halt cycles must be very close
+    // (skew only from cold refill interleaving).
+    EXPECT_LT(std::llabs(static_cast<long long>(res.per_core[0]) -
+                         static_cast<long long>(res.per_core[1])),
+              200);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFabrics, WorkloadOnIc,
+                         ::testing::Values(IcKind::Amba, IcKind::Crossbar,
+                                           IcKind::Xpipes),
+                         [](const auto& info) {
+                             return std::string(
+                                 platform::to_string(info.param));
+                         });
+
+// --- TG replay accuracy on the reference interconnect (Table 2 property) ---
+
+TEST(TgFlow, SpMatrixReplayIsCycleAccurate) {
+    const Workload w = apps::make_sp_matrix({10});
+    const auto flow = run_flow(w, make_cfg(1, IcKind::Amba));
+    ASSERT_TRUE(flow.ref.completed);
+    ASSERT_TRUE(flow.tg.completed);
+    EXPECT_TRUE(flow.ref_checks_ok) << flow.check_msg;
+    EXPECT_TRUE(flow.tg_checks_ok) << flow.check_msg;
+    // Single core, no polling: the TG must reproduce the execution time
+    // exactly or within the clamped-idle slack.
+    EXPECT_NEAR(cycle_error_pct(flow.ref, flow.tg), 0.0, 0.1);
+}
+
+TEST(TgFlow, CacheloopReplayIsExact) {
+    const Workload w = apps::make_cacheloop({4, 5000});
+    const auto flow = run_flow(w, make_cfg(4, IcKind::Amba));
+    ASSERT_TRUE(flow.ref.completed);
+    ASSERT_TRUE(flow.tg.completed);
+    for (u32 i = 0; i < 4; ++i)
+        EXPECT_EQ(flow.ref.per_core[i], flow.tg.per_core[i]) << "core " << i;
+}
+
+TEST(TgFlow, MpMatrixReplayWithinOnePercent) {
+    const Workload w = apps::make_mp_matrix({4, 12});
+    const auto flow = run_flow(w, make_cfg(4, IcKind::Amba));
+    ASSERT_TRUE(flow.ref.completed);
+    ASSERT_TRUE(flow.tg.completed);
+    EXPECT_TRUE(flow.tg_checks_ok) << flow.check_msg;
+    EXPECT_LT(std::abs(cycle_error_pct(flow.ref, flow.tg)), 1.0);
+}
+
+TEST(TgFlow, DesReplayWithinOnePercent) {
+    const Workload w = apps::make_des({4, 2});
+    const auto flow = run_flow(w, make_cfg(4, IcKind::Amba));
+    ASSERT_TRUE(flow.ref.completed);
+    ASSERT_TRUE(flow.tg.completed);
+    EXPECT_TRUE(flow.tg_checks_ok) << flow.check_msg;
+    EXPECT_LT(std::abs(cycle_error_pct(flow.ref, flow.tg)), 1.0);
+}
+
+TEST(TgFlow, TgReplayWritesSameSharedState) {
+    // The TG run must leave shared memory in exactly the state the
+    // reference run left it (writes carry data — paper Sec. 3).
+    const Workload w = apps::make_mp_matrix({2, 8});
+    const auto flow = run_flow(w, make_cfg(2, IcKind::Amba));
+    ASSERT_TRUE(flow.tg.completed);
+    EXPECT_TRUE(flow.tg_checks_ok) << flow.check_msg;
+}
+
+// --- The cross-interconnect identity property (paper Sec. 6, experiment 1) ---
+
+std::vector<std::string> tgp_texts(const apps::Workload& w, u32 cores,
+                                   IcKind ic) {
+    platform::PlatformConfig cfg = make_cfg(cores, ic);
+    cfg.collect_traces = true;
+    platform::Platform p{cfg};
+    p.load_workload(w);
+    const auto res = p.run(kMaxCycles);
+    EXPECT_TRUE(res.completed) << "on " << platform::to_string(ic);
+    tg::TranslateOptions topt;
+    topt.polls = w.polls;
+    std::vector<std::string> texts;
+    for (const auto& t : p.traces())
+        texts.push_back(tg::to_text(tg::translate(t, topt).program));
+    return texts;
+}
+
+class TgpIdentity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TgpIdentity, ProgramsIdenticalAcrossInterconnects) {
+    const std::string which = GetParam();
+    Workload w;
+    u32 cores = 0;
+    if (which == "cacheloop") {
+        cores = 3;
+        w = apps::make_cacheloop({cores, 3000});
+    } else if (which == "mp_matrix") {
+        cores = 3;
+        w = apps::make_mp_matrix({cores, 9});
+    } else if (which == "des") {
+        cores = 3;
+        w = apps::make_des({cores, 2});
+    } else {
+        cores = 1;
+        w = apps::make_sp_matrix({10});
+    }
+    const auto amba = tgp_texts(w, cores, IcKind::Amba);
+    const auto xbar = tgp_texts(w, cores, IcKind::Crossbar);
+    const auto mesh = tgp_texts(w, cores, IcKind::Xpipes);
+    ASSERT_EQ(amba.size(), cores);
+    for (u32 i = 0; i < cores; ++i) {
+        EXPECT_EQ(amba[i], xbar[i]) << "core " << i << " amba vs crossbar";
+        EXPECT_EQ(amba[i], mesh[i]) << "core " << i << " amba vs xpipes";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, TgpIdentity,
+                         ::testing::Values("sp_matrix", "cacheloop",
+                                           "mp_matrix", "des"));
+
+// --- Retracing a TG run reproduces the program (fixed-point validation,
+//     paper Sec. 5: "Validation of the TG model can be achieved by coupling
+//     the TG with the same interconnect used for tracing") ---
+
+TEST(TgFlow, RetracedTgRunTranslatesToSameProgram) {
+    const Workload w = apps::make_mp_matrix({2, 8});
+    platform::PlatformConfig cfg = make_cfg(2, IcKind::Amba);
+    cfg.collect_traces = true;
+
+    platform::Platform ref{cfg};
+    ref.load_workload(w);
+    ASSERT_TRUE(ref.run(kMaxCycles).completed);
+
+    tg::TranslateOptions topt;
+    topt.polls = w.polls;
+    std::vector<tg::TgProgram> programs;
+    for (const auto& t : ref.traces())
+        programs.push_back(tg::translate(t, topt).program);
+
+    platform::Platform tgp{cfg}; // traced TG run
+    tgp.load_tg_programs(programs, w);
+    ASSERT_TRUE(tgp.run(kMaxCycles).completed);
+
+    for (u32 i = 0; i < 2; ++i) {
+        const auto re = tg::translate(tgp.traces()[i], topt);
+        EXPECT_EQ(tg::to_text(re.program), tg::to_text(programs[i]))
+            << "core " << i;
+    }
+}
+
+// --- Quiescence skipping must be invisible in results ---
+
+TEST(IdleSkip, SkippingIsBitExact) {
+    const Workload w = apps::make_des({3, 2});
+    for (const IcKind ic :
+         {IcKind::Amba, IcKind::Crossbar, IcKind::Xpipes}) {
+        PlatformConfig with = make_cfg(3, ic);
+        with.max_idle_skip = 1u << 20;
+        PlatformConfig without = make_cfg(3, ic);
+        without.max_idle_skip = 0;
+
+        const auto fa = run_flow(w, with);
+        const auto fb = run_flow(w, without);
+        ASSERT_TRUE(fa.ref.completed);
+        ASSERT_TRUE(fb.ref.completed);
+        EXPECT_EQ(fa.ref.cycles, fb.ref.cycles)
+            << "on " << platform::to_string(ic);
+        EXPECT_EQ(fa.ref.per_core, fb.ref.per_core);
+        EXPECT_EQ(fa.tg.cycles, fb.tg.cycles);
+        EXPECT_EQ(fa.tg.per_core, fb.tg.per_core);
+        // Same traces, same programs.
+        ASSERT_EQ(fa.traces.size(), fb.traces.size());
+        for (std::size_t i = 0; i < fa.traces.size(); ++i)
+            EXPECT_EQ(fa.traces[i], fb.traces[i]) << "core " << i;
+    }
+}
+
+// --- Determinism: identical configurations give identical results ---
+
+TEST(Determinism, RepeatedRunsAreBitIdentical) {
+    const Workload w = apps::make_des({2, 2});
+    platform::Platform a{make_cfg(2, IcKind::Xpipes)};
+    a.load_workload(w);
+    const auto ra = a.run(kMaxCycles);
+    platform::Platform b{make_cfg(2, IcKind::Xpipes)};
+    b.load_workload(w);
+    const auto rb = b.run(kMaxCycles);
+    ASSERT_TRUE(ra.completed);
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.per_core, rb.per_core);
+    EXPECT_EQ(ra.total_instructions, rb.total_instructions);
+}
+
+// --- Reactiveness: poll counts adapt to the interconnect (paper Fig. 2b) ---
+
+TEST(Reactive, PollCountsDifferAcrossInterconnectsButProgramsDoNot) {
+    const Workload w = apps::make_mp_matrix({3, 9});
+
+    auto count_sem_reads = [&](IcKind ic) {
+        platform::PlatformConfig cfg = make_cfg(3, ic);
+        cfg.collect_traces = true;
+        platform::Platform p{cfg};
+        p.load_workload(w);
+        EXPECT_TRUE(p.run(kMaxCycles).completed);
+        u64 polls = 0;
+        for (const auto& t : p.traces())
+            for (const auto& ev : t.events)
+                if (ev.cmd == ocp::Cmd::Read && ev.addr >= platform::kSemBase &&
+                    ev.addr < platform::kSemBase + 4 * platform::kSemCount)
+                    ++polls;
+        return polls;
+    };
+    const u64 amba_polls = count_sem_reads(IcKind::Amba);
+    const u64 mesh_polls = count_sem_reads(IcKind::Xpipes);
+    // The slower fabric must show a different amount of polling traffic —
+    // this is precisely why cloning traces is inadequate.
+    EXPECT_NE(amba_polls, mesh_polls);
+}
+
+} // namespace
+} // namespace tgsim::test

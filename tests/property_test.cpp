@@ -1,0 +1,361 @@
+// Property-style tests: randomized round-trips and invariants across the
+// TG program pipeline, the caches, and the interconnects.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "cpu/cache.hpp"
+#include "mem/memory.hpp"
+#include "sim/rng.hpp"
+#include "test_util.hpp"
+#include "tg/program.hpp"
+#include "tg/stochastic.hpp"
+#include "tg/translator.hpp"
+
+namespace tgsim::test {
+namespace {
+
+using namespace tgsim::tg;
+
+// --- random TG programs round-trip through text and binary ---
+
+TgProgram random_program(u64 seed) {
+    sim::Rng rng{seed};
+    TgProgram p;
+    p.core_id = static_cast<u32>(rng.below(16));
+    const u32 n = 5 + static_cast<u32>(rng.below(40));
+    for (u32 i = 0; i < n; ++i) {
+        TgInstr in;
+        switch (rng.below(9)) {
+            case 0:
+                in.op = TgOp::Read;
+                in.a = static_cast<u8>(rng.below(kTgNumRegs));
+                break;
+            case 1:
+                in.op = TgOp::Write;
+                in.a = static_cast<u8>(rng.below(kTgNumRegs));
+                in.b = static_cast<u8>(rng.below(kTgNumRegs));
+                break;
+            case 2:
+                in.op = TgOp::BurstRead;
+                in.a = static_cast<u8>(rng.below(kTgNumRegs));
+                in.imm = 1 + static_cast<u32>(rng.below(16));
+                break;
+            case 3: {
+                in.op = TgOp::BurstWrite;
+                in.a = static_cast<u8>(rng.below(kTgNumRegs));
+                in.imm = 1 + static_cast<u32>(rng.below(8));
+                for (u32 k = 0; k < in.imm; ++k)
+                    in.burst_data.push_back(static_cast<u32>(rng.next()));
+                break;
+            }
+            case 4:
+                in.op = TgOp::SetRegister;
+                in.a = static_cast<u8>(rng.below(kTgNumRegs));
+                in.imm = static_cast<u32>(rng.next());
+                break;
+            case 5:
+                in.op = TgOp::Idle;
+                in.imm = 1 + static_cast<u32>(rng.below(1000));
+                break;
+            case 6:
+                in.op = TgOp::If;
+                in.a = static_cast<u8>(rng.below(kTgNumRegs));
+                in.b = static_cast<u8>(rng.below(kTgNumRegs));
+                in.cmp = static_cast<TgCmp>(rng.below(6));
+                in.target = static_cast<u32>(rng.below(n + 1));
+                break;
+            case 7:
+                in.op = TgOp::IfImm;
+                in.a = static_cast<u8>(rng.below(kTgNumRegs));
+                in.cmp = static_cast<TgCmp>(rng.below(6));
+                in.imm = static_cast<u32>(rng.next());
+                in.target = static_cast<u32>(rng.below(n + 1));
+                break;
+            default:
+                in.op = TgOp::IdleUntil;
+                in.imm = static_cast<u32>(rng.below(100000));
+                break;
+        }
+        p.instrs.push_back(std::move(in));
+    }
+    TgInstr halt;
+    halt.op = TgOp::Halt;
+    p.instrs.push_back(halt);
+    // Random register directives.
+    for (u32 r = 0; r < 4; ++r)
+        if (rng.chance(0.5))
+            p.reg_init[static_cast<u8>(rng.below(kTgNumRegs))] =
+                static_cast<u32>(rng.next());
+    return p;
+}
+
+class TgProgramProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(TgProgramProperty, TextRoundTripIsIdentity) {
+    const TgProgram p = random_program(GetParam());
+    const std::string text = to_text(p);
+    const TgProgram q = program_from_text(text);
+    EXPECT_EQ(p, q);
+    EXPECT_EQ(to_text(q), text); // canonical: printing is a fixed point
+}
+
+TEST_P(TgProgramProperty, BinaryRoundTripPreservesSemantics) {
+    const TgProgram p = random_program(GetParam());
+    const auto image = assemble(p);
+    EXPECT_EQ(image.size(), encoded_word_count(p));
+    const TgProgram q = disassemble(image);
+    ASSERT_EQ(q.instrs.size(), p.instrs.size());
+    for (std::size_t i = 0; i < p.instrs.size(); ++i) {
+        EXPECT_EQ(q.instrs[i].op, p.instrs[i].op) << i;
+        EXPECT_EQ(q.instrs[i].a, p.instrs[i].a) << i;
+        EXPECT_EQ(q.instrs[i].b, p.instrs[i].b) << i;
+        EXPECT_EQ(q.instrs[i].target, p.instrs[i].target) << i;
+        EXPECT_EQ(q.instrs[i].burst_data, p.instrs[i].burst_data) << i;
+    }
+    // Reassembly is byte-stable.
+    EXPECT_EQ(assemble(q), image);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TgProgramProperty,
+                         ::testing::Range<u64>(1, 21));
+
+// --- random traces translate deterministically with sane structure ---
+
+Trace random_trace(u64 seed) {
+    sim::Rng rng{seed};
+    Trace t;
+    t.core_id = static_cast<u32>(rng.below(8));
+    Cycle cyc = 1 + rng.below(20);
+    const u32 n = 1 + static_cast<u32>(rng.below(60));
+    for (u32 i = 0; i < n; ++i) {
+        TraceEvent ev;
+        const u32 kind = static_cast<u32>(rng.below(4));
+        ev.cmd = kind == 0   ? ocp::Cmd::Read
+                 : kind == 1 ? ocp::Cmd::Write
+                 : kind == 2 ? ocp::Cmd::BurstRead
+                             : ocp::Cmd::BurstWrite;
+        ev.burst = ocp::is_burst(ev.cmd) ? static_cast<u16>(1 + rng.below(8))
+                                         : u16{1};
+        ev.addr = 0x20000000u + 4 * static_cast<u32>(rng.below(1024));
+        const u32 beats = ocp::is_write(ev.cmd) || ocp::is_read(ev.cmd)
+                              ? ev.burst
+                              : 1;
+        for (u32 b = 0; b < beats; ++b)
+            ev.data.push_back(static_cast<u32>(rng.next()));
+        ev.t_assert = cyc;
+        ev.t_accept = cyc + 1 + rng.below(5);
+        if (ocp::is_read(ev.cmd)) {
+            ev.t_resp_first = ev.t_accept + 2 + rng.below(8);
+            ev.t_resp_last = ev.t_resp_first + (ev.burst - 1);
+            cyc = ev.t_resp_last + 2 + rng.below(30);
+        } else {
+            cyc = ev.t_accept + 2 + rng.below(30);
+        }
+        t.events.push_back(std::move(ev));
+    }
+    t.end_cycle = cyc + 2 + rng.below(100);
+    return t;
+}
+
+class TranslatorProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(TranslatorProperty, TraceTextRoundTrip) {
+    const Trace t = random_trace(GetParam());
+    EXPECT_EQ(trace_from_text(to_text(t)), t);
+}
+
+TEST_P(TranslatorProperty, OutputIsWellFormedAndDeterministic) {
+    const Trace t = random_trace(GetParam());
+    for (const TgMode mode :
+         {TgMode::Clone, TgMode::Timeshift, TgMode::Reactive}) {
+        TranslateOptions opt;
+        opt.mode = mode;
+        const auto a = translate(t, opt);
+        const auto b = translate(t, opt);
+        EXPECT_EQ(a.program, b.program) << to_string(mode);
+        ASSERT_FALSE(a.program.instrs.empty());
+        EXPECT_EQ(a.program.instrs.back().op, TgOp::Halt);
+        u32 ocp_count = 0;
+        for (const auto& in : a.program.instrs) {
+            if (in.op == TgOp::Idle) {
+                EXPECT_GT(in.imm, 0u);
+            }
+            if (in.op == TgOp::If || in.op == TgOp::IfImm ||
+                in.op == TgOp::Jump) {
+                EXPECT_LT(in.target, a.program.instrs.size());
+            }
+            if (in.op == TgOp::Read || in.op == TgOp::Write ||
+                in.op == TgOp::BurstRead || in.op == TgOp::BurstWrite)
+                ++ocp_count;
+        }
+        // No polling specs: every trace event maps to exactly one OCP op.
+        EXPECT_EQ(ocp_count, t.events.size()) << to_string(mode);
+        // The whole program survives assembly.
+        EXPECT_NO_THROW((void)assemble(a.program));
+    }
+}
+
+TEST_P(TranslatorProperty, TimeshiftReplayReproducesSyntheticTraceOnMatchingSlave) {
+    // For traces that were actually produced by the protocol (generated by a
+    // TG against a memory), replay is exact — covered in translator_test.
+    // Here: translating the REPLAY of a translated program is a fixed point
+    // even for synthetic traces.
+    const Trace t = random_trace(GetParam());
+    TranslateOptions opt;
+    const auto first = translate(t, opt);
+
+    // Execute the program against a memory slave and retrace it.
+    sim::Kernel k;
+    ocp::Channel ch;
+    TgCore core{ch};
+    mem::MemorySlave mem{ch, mem::SlaveTiming{2, 1, 1}, 0x20000000, 0x2000};
+    Trace replay;
+    ocp::ChannelMonitor mon{k, ch, [&](const ocp::TransactionRecord& r) {
+                                replay.events.push_back(from_record(r));
+                            }};
+    k.add(core, sim::kStageMaster);
+    k.add(mem, sim::kStageSlave);
+    k.add(mon, sim::kStageObserver);
+    k.set_max_skip(1u << 16);
+    core.load(assemble(first.program));
+    for (const auto& [r, v] : first.program.reg_init) core.preset_reg(r, v);
+    ASSERT_TRUE(k.run_until([&] { return core.done(); }, 10'000'000));
+    replay.end_cycle = core.halt_cycle();
+    replay.core_id = t.core_id;
+
+    const auto second = translate(replay, opt);
+    const auto third_trace = replay; // translate(replay) run again must agree
+    EXPECT_EQ(second.program, translate(third_trace, opt).program);
+    // Event counts and command sequence are preserved through replay.
+    ASSERT_EQ(replay.events.size(), t.events.size());
+    for (std::size_t i = 0; i < t.events.size(); ++i) {
+        EXPECT_EQ(replay.events[i].cmd, t.events[i].cmd) << i;
+        EXPECT_EQ(replay.events[i].addr, t.events[i].addr) << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TranslatorProperty,
+                         ::testing::Range<u64>(100, 115));
+
+// --- cache vs reference model ---
+
+class CacheProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(CacheProperty, MatchesReferenceTagModel) {
+    sim::Rng rng{GetParam()};
+    cpu::DirectCache cache{{4, 16}};
+    std::map<u32, std::array<u32, 4>> ref_lines; // line base -> words
+    auto line_of = [&](u32 addr) { return addr & ~15u; };
+
+    for (int step = 0; step < 2000; ++step) {
+        const u32 addr = 4 * static_cast<u32>(rng.below(512));
+        switch (rng.below(3)) {
+            case 0: { // fill
+                std::array<u32, 4> words{};
+                for (auto& w : words) w = static_cast<u32>(rng.next());
+                cache.fill(addr, std::vector<u32>(words.begin(), words.end()));
+                // evict whatever previously mapped to this index
+                for (auto it = ref_lines.begin(); it != ref_lines.end();) {
+                    if (it->first != line_of(addr) &&
+                        ((it->first / 16) & 15u) == ((line_of(addr) / 16) & 15u))
+                        it = ref_lines.erase(it);
+                    else
+                        ++it;
+                }
+                ref_lines[line_of(addr)] = words;
+                break;
+            }
+            case 1: { // write-if-present
+                const u32 value = static_cast<u32>(rng.next());
+                const bool hit = cache.write_if_present(addr, value);
+                const auto it = ref_lines.find(line_of(addr));
+                EXPECT_EQ(hit, it != ref_lines.end());
+                if (it != ref_lines.end()) it->second[(addr / 4) & 3u] = value;
+                break;
+            }
+            default: { // lookup/read
+                const auto it = ref_lines.find(line_of(addr));
+                EXPECT_EQ(cache.present(addr), it != ref_lines.end());
+                if (it != ref_lines.end()) {
+                    EXPECT_EQ(cache.read(addr), it->second[(addr / 4) & 3u]);
+                }
+                break;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheProperty, ::testing::Range<u64>(7, 15));
+
+// --- cross-fabric memory consistency under random traffic ---
+
+struct SoakParam {
+    platform::IcKind ic;
+    u64 seed;
+};
+
+class FabricSoak : public ::testing::TestWithParam<SoakParam> {};
+
+TEST_P(FabricSoak, FinalMemoryMatchesLastWritePerMaster) {
+    const auto [ic, seed] = GetParam();
+    platform::PlatformConfig cfg;
+    cfg.n_cores = 3;
+    cfg.ic = ic;
+    cfg.collect_traces = true;
+    platform::Platform p{cfg};
+
+    // Each master writes only into its own disjoint shared slice, so the
+    // final value at every address is its own last write regardless of the
+    // fabric's arbitration choices.
+    std::vector<tg::StochasticConfig> cfgs;
+    for (u32 i = 0; i < 3; ++i) {
+        tg::StochasticConfig sc;
+        sc.seed = seed * 97 + i;
+        sc.process = static_cast<ArrivalProcess>(i % 3);
+        sc.total_transactions = 400;
+        sc.read_fraction = 0.4;
+        sc.burst_fraction = 0.3;
+        sc.burst_len = 4;
+        sc.min_gap = 1;
+        sc.max_gap = 12;
+        sc.rate = 0.2;
+        sc.targets = {{platform::kSharedBase + 0x4000u * i, 0x400, 1}};
+        cfgs.push_back(sc);
+    }
+    apps::Workload env;
+    env.cores.resize(3);
+    p.load_stochastic(cfgs, env);
+    ASSERT_TRUE(p.run(10'000'000).completed);
+    p.kernel().run(500); // drain posted writes (NoC NIs buffer them)
+
+    for (u32 i = 0; i < 3; ++i) {
+        std::unordered_map<u32, u32> last_write;
+        for (const auto& ev : p.traces()[i].events) {
+            if (!ocp::is_write(ev.cmd)) continue;
+            for (u16 b = 0; b < ev.data.size(); ++b)
+                last_write[ev.addr + 4u * b] = ev.data[b];
+        }
+        EXPECT_FALSE(last_write.empty());
+        for (const auto& [addr, value] : last_write)
+            EXPECT_EQ(p.shared_mem().peek(addr), value)
+                << "master " << i << " @ " << std::hex << addr;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fabrics, FabricSoak,
+    ::testing::Values(SoakParam{platform::IcKind::Amba, 1},
+                      SoakParam{platform::IcKind::Amba, 2},
+                      SoakParam{platform::IcKind::Crossbar, 1},
+                      SoakParam{platform::IcKind::Crossbar, 2},
+                      SoakParam{platform::IcKind::Xpipes, 1},
+                      SoakParam{platform::IcKind::Xpipes, 2}),
+    [](const auto& info) {
+        return std::string(platform::to_string(info.param.ic)) + "_seed" +
+               std::to_string(info.param.seed);
+    });
+
+} // namespace
+} // namespace tgsim::test

@@ -1,0 +1,158 @@
+// Unit tests for the simulation kernel, wall timer and deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/rng.hpp"
+
+namespace tgsim::sim {
+namespace {
+
+/// Records the order in which eval/update fire.
+class Probe final : public Clocked {
+public:
+    Probe(std::vector<int>& log, int id) : log_(log), id_(id) {}
+    void eval() override { log_.push_back(id_); }
+    void update() override { log_.push_back(100 + id_); }
+
+private:
+    std::vector<int>& log_;
+    int id_;
+};
+
+TEST(Kernel, TickRunsEvalsBeforeUpdatesInStageOrder) {
+    Kernel k;
+    std::vector<int> log;
+    Probe slave{log, 2};
+    Probe master{log, 1};
+    Probe ic{log, 3};
+    // Registration order deliberately scrambled; stages must win.
+    k.add(ic, kStageInterconnect, "ic");
+    k.add(slave, kStageSlave, "slave");
+    k.add(master, kStageMaster, "master");
+    k.tick();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3, 101, 102, 103}));
+    EXPECT_EQ(k.now(), 1u);
+}
+
+TEST(Kernel, SameStagePreservesRegistrationOrder) {
+    Kernel k;
+    std::vector<int> log;
+    Probe a{log, 1};
+    Probe b{log, 2};
+    Probe c{log, 3};
+    k.add(a, kStageMaster);
+    k.add(b, kStageMaster);
+    k.add(c, kStageMaster);
+    k.tick();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3, 101, 102, 103}));
+}
+
+TEST(Kernel, RunAdvancesExactCycleCount) {
+    Kernel k;
+    std::vector<int> log;
+    Probe a{log, 1};
+    k.add(a, kStageMaster);
+    k.run(25);
+    EXPECT_EQ(k.now(), 25u);
+    EXPECT_EQ(log.size(), 50u);
+}
+
+TEST(Kernel, RunUntilStopsOnPredicate) {
+    Kernel k;
+    std::vector<int> log;
+    Probe a{log, 1};
+    k.add(a, kStageMaster);
+    const bool hit = k.run_until([&] { return k.now() >= 7; }, 100);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(k.now(), 7u);
+}
+
+TEST(Kernel, RunUntilTimesOut) {
+    Kernel k;
+    const bool hit = k.run_until([] { return false; }, 10);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(k.now(), 10u);
+}
+
+TEST(Kernel, ComponentNamesAreRecorded) {
+    Kernel k;
+    std::vector<int> log;
+    Probe a{log, 1};
+    k.add(a, kStageMaster, "cpu0");
+    EXPECT_EQ(k.component_count(), 1u);
+    k.tick(); // forces sort
+    EXPECT_EQ(k.component_name(0), "cpu0");
+    EXPECT_THROW((void)k.component_name(5), std::out_of_range);
+}
+
+TEST(WallTimer, MeasuresElapsedTime) {
+    WallTimer t;
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
+    EXPECT_GT(t.seconds(), 0.0);
+    t.restart();
+    EXPECT_LT(t.seconds(), 1.0);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a{42}, b{42};
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a{1}, b{2};
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next()) ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+    Rng r{7};
+    for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeIsInclusive) {
+    Rng r{7};
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const u64 v = r.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01Bounds) {
+    Rng r{11};
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.uniform01();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+    Rng r{13};
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        if (r.chance(0.3)) ++hits;
+    EXPECT_NEAR(hits / 100000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricMeanMatches) {
+    Rng r{17};
+    double total = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) total += static_cast<double>(r.geometric(0.25));
+    // mean failures before success = (1-p)/p = 3
+    EXPECT_NEAR(total / n, 3.0, 0.15);
+}
+
+} // namespace
+} // namespace tgsim::sim

@@ -1,0 +1,169 @@
+// Helpers shared by the tgsim test suites.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "platform/platform.hpp"
+#include "tg/program.hpp"
+#include "tg/translator.hpp"
+
+namespace tgsim::test {
+
+inline constexpr Cycle kMaxCycles = 80'000'000;
+
+struct FlowResult {
+    platform::RunResult ref;
+    platform::RunResult tg;
+    std::vector<tg::Trace> traces;
+    std::vector<tg::TgProgram> programs;
+    std::string check_msg;
+    bool ref_checks_ok = false;
+    bool tg_checks_ok = false;
+};
+
+/// Runs the complete methodology: reference run (traced) -> translate ->
+/// TG run on `tg_cfg` (defaults to the reference config).
+inline FlowResult run_flow(const apps::Workload& w,
+                           platform::PlatformConfig cfg,
+                           tg::TgMode mode = tg::TgMode::Reactive,
+                           const platform::PlatformConfig* tg_cfg = nullptr) {
+    FlowResult out;
+    cfg.collect_traces = true;
+    platform::Platform ref{cfg};
+    ref.load_workload(w);
+    out.ref = ref.run(kMaxCycles);
+    out.ref_checks_ok = ref.run_checks(w, &out.check_msg);
+    out.traces = ref.traces();
+
+    tg::TranslateOptions topt;
+    topt.mode = mode;
+    topt.polls = w.polls;
+    for (const tg::Trace& t : out.traces)
+        out.programs.push_back(tg::translate(t, topt).program);
+
+    platform::PlatformConfig tcfg = tg_cfg != nullptr ? *tg_cfg : cfg;
+    tcfg.collect_traces = false;
+    platform::Platform tgp{tcfg};
+    tgp.load_tg_programs(out.programs, w);
+    out.tg = tgp.run(kMaxCycles);
+    out.tg_checks_ok = tgp.run_checks(w, &out.check_msg);
+    return out;
+}
+
+/// Relative cycle error in percent.
+inline double cycle_error_pct(const platform::RunResult& ref,
+                              const platform::RunResult& tg) {
+    return 100.0 *
+           (static_cast<double>(tg.cycles) - static_cast<double>(ref.cycles)) /
+           static_cast<double>(ref.cycles);
+}
+
+/// Scripted OCP master for protocol-level tests: issues a list of
+/// transactions (earliest-start constrained) following the standard master
+/// drive rules and records the observed handshake timestamps.
+class TestMaster final : public sim::Clocked {
+public:
+    struct Op {
+        ocp::Cmd cmd = ocp::Cmd::Read;
+        u32 addr = 0;
+        u16 burst = 1;
+        std::vector<u32> wdata; ///< one per beat for writes
+        Cycle not_before = 0;   ///< earliest assert cycle
+    };
+    struct Done {
+        Op op;
+        Cycle t_assert = 0;
+        Cycle t_accept = 0; ///< last request beat accept
+        Cycle t_resp_first = 0;
+        Cycle t_resp_last = 0;
+        std::vector<u32> rdata;
+    };
+
+    TestMaster(const sim::Kernel& kernel, ocp::Channel& ch)
+        : kernel_(kernel), ch_(ch) {}
+
+    void push(Op op) { queue_.push_back(std::move(op)); }
+
+    [[nodiscard]] bool idle() const noexcept {
+        return !active_ && next_ >= queue_.size();
+    }
+    [[nodiscard]] const std::vector<Done>& results() const noexcept {
+        return results_;
+    }
+
+    void eval() override {
+        if (!active_ && next_ < queue_.size() &&
+            kernel_.now() >= queue_[next_].not_before) {
+            cur_ = Done{};
+            cur_.op = queue_[next_];
+            ++next_;
+            active_ = true;
+            accepted_ = false;
+            beats_acc_ = 0;
+            cur_.t_assert = kernel_.now();
+        }
+        const bool driving =
+            active_ && (!accepted_ && (!ocp::is_write(cur_.op.cmd) ||
+                                       beats_acc_ < cur_.op.burst));
+        if (driving) {
+            ch_.m_cmd = cur_.op.cmd;
+            ch_.m_addr = cur_.op.addr;
+            ch_.m_burst = cur_.op.burst;
+            ch_.m_data = ocp::is_write(cur_.op.cmd) && beats_acc_ < cur_.op.wdata.size()
+                             ? cur_.op.wdata[beats_acc_]
+                             : 0u;
+        } else {
+            ch_.m_cmd = ocp::Cmd::Idle;
+            ch_.m_addr = 0;
+            ch_.m_data = 0;
+            ch_.m_burst = 1;
+        }
+        ch_.m_resp_accept = active_ && ocp::is_read(cur_.op.cmd);
+    }
+
+    void update() override {
+        if (!active_) return;
+        if (ocp::is_write(cur_.op.cmd)) {
+            if (ch_.s_cmd_accept) {
+                ++beats_acc_;
+                if (beats_acc_ == cur_.op.burst) {
+                    cur_.t_accept = kernel_.now();
+                    finish();
+                }
+            }
+            return;
+        }
+        if (!accepted_ && ch_.s_cmd_accept) {
+            accepted_ = true;
+            cur_.t_accept = kernel_.now();
+        }
+        if (ch_.s_resp != ocp::Resp::None) {
+            if (cur_.rdata.empty()) cur_.t_resp_first = kernel_.now();
+            cur_.rdata.push_back(ch_.s_data);
+            if (ch_.s_resp_last || cur_.rdata.size() == cur_.op.burst) {
+                cur_.t_resp_last = kernel_.now();
+                finish();
+            }
+        }
+    }
+
+private:
+    void finish() {
+        results_.push_back(cur_);
+        active_ = false;
+    }
+
+    const sim::Kernel& kernel_;
+    ocp::Channel& ch_;
+    std::vector<Op> queue_;
+    std::size_t next_ = 0;
+    bool active_ = false;
+    bool accepted_ = false;
+    u16 beats_acc_ = 0;
+    Done cur_;
+    std::vector<Done> results_;
+};
+
+} // namespace tgsim::test

@@ -1,0 +1,171 @@
+// Shared helpers for the tgsim command-line tools: a tiny flag parser, the
+// benchmark/workload factory, and binary image file I/O.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "platform/platform.hpp"
+#include "tg/translator.hpp"
+
+namespace tgsim::cli {
+
+/// Parses "--key=value" / "--flag" style arguments; positional arguments are
+/// collected in order.
+class Args {
+public:
+    Args(int argc, char** argv) {
+        for (int i = 1; i < argc; ++i) {
+            const std::string a = argv[i];
+            if (a.rfind("--", 0) == 0) {
+                const auto eq = a.find('=');
+                if (eq == std::string::npos)
+                    flags_[a.substr(2)] = "";
+                else
+                    flags_[a.substr(2, eq - 2)] = a.substr(eq + 1);
+            } else {
+                positional_.push_back(a);
+            }
+        }
+    }
+
+    [[nodiscard]] bool has(const std::string& key) const {
+        return flags_.count(key) != 0;
+    }
+    [[nodiscard]] std::string get(const std::string& key,
+                                  const std::string& fallback = "") const {
+        const auto it = flags_.find(key);
+        return it == flags_.end() ? fallback : it->second;
+    }
+    [[nodiscard]] u64 get_u64(const std::string& key, u64 fallback) const {
+        const auto it = flags_.find(key);
+        return it == flags_.end()
+                   ? fallback
+                   : std::strtoull(it->second.c_str(), nullptr, 0);
+    }
+    [[nodiscard]] const std::vector<std::string>& positional() const {
+        return positional_;
+    }
+
+private:
+    std::map<std::string, std::string> flags_;
+    std::vector<std::string> positional_;
+};
+
+/// Builds one of the paper's benchmarks by name.
+inline std::optional<apps::Workload> make_workload(const std::string& app,
+                                                   u32 cores, u32 size) {
+    if (app == "cacheloop") return apps::make_cacheloop({cores, size});
+    if (app == "sp_matrix") return apps::make_sp_matrix({size});
+    if (app == "mp_matrix") return apps::make_mp_matrix({cores, size});
+    if (app == "des") return apps::make_des({cores, size});
+    return std::nullopt;
+}
+
+inline std::optional<platform::IcKind> parse_ic(const std::string& name) {
+    if (name == "amba") return platform::IcKind::Amba;
+    if (name == "crossbar") return platform::IcKind::Crossbar;
+    if (name == "xpipes") return platform::IcKind::Xpipes;
+    return std::nullopt;
+}
+
+inline std::optional<tg::TgMode> parse_mode(const std::string& name) {
+    if (name == "clone") return tg::TgMode::Clone;
+    if (name == "timeshift") return tg::TgMode::Timeshift;
+    if (name == "reactive") return tg::TgMode::Reactive;
+    return std::nullopt;
+}
+
+/// Binary image files: raw little-endian 32-bit words.
+inline void save_image(const std::vector<u32>& image, const std::string& path) {
+    std::ofstream out{path, std::ios::binary};
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+        std::exit(1);
+    }
+    for (const u32 w : image) {
+        const char bytes[4] = {
+            static_cast<char>(w & 0xFF), static_cast<char>((w >> 8) & 0xFF),
+            static_cast<char>((w >> 16) & 0xFF),
+            static_cast<char>((w >> 24) & 0xFF)};
+        out.write(bytes, 4);
+    }
+}
+
+inline std::vector<u32> load_image(const std::string& path) {
+    std::ifstream in{path, std::ios::binary};
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        std::exit(1);
+    }
+    std::vector<u32> image;
+    char bytes[4];
+    while (in.read(bytes, 4)) {
+        image.push_back(static_cast<u32>(static_cast<u8>(bytes[0])) |
+                        (static_cast<u32>(static_cast<u8>(bytes[1])) << 8) |
+                        (static_cast<u32>(static_cast<u8>(bytes[2])) << 16) |
+                        (static_cast<u32>(static_cast<u8>(bytes[3])) << 24));
+    }
+    return image;
+}
+
+inline std::string read_text_file(const std::string& path) {
+    std::ifstream in{path};
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        std::exit(1);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+inline void write_text_file(const std::string& path, const std::string& text) {
+    std::ofstream out{path};
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+        std::exit(1);
+    }
+    out << text;
+}
+
+/// Parses repeated --poll=base:size:retry_cmp:value:idle specs, e.g.
+/// --poll=0x30000000:256:eq:0:1
+inline std::vector<tg::PollSpec> parse_polls(const std::vector<std::string>& raw) {
+    std::vector<tg::PollSpec> polls;
+    for (const std::string& spec : raw) {
+        std::vector<std::string> parts;
+        std::istringstream ss{spec};
+        std::string tok;
+        while (std::getline(ss, tok, ':')) parts.push_back(tok);
+        if (parts.size() != 5) {
+            std::fprintf(stderr, "bad --poll spec '%s'\n", spec.c_str());
+            std::exit(1);
+        }
+        tg::PollSpec p;
+        p.base = static_cast<u32>(std::strtoul(parts[0].c_str(), nullptr, 0));
+        p.size = static_cast<u32>(std::strtoul(parts[1].c_str(), nullptr, 0));
+        if (parts[2] == "eq") p.retry_cmp = tg::TgCmp::Eq;
+        else if (parts[2] == "ne") p.retry_cmp = tg::TgCmp::Ne;
+        else if (parts[2] == "ltu") p.retry_cmp = tg::TgCmp::Ltu;
+        else if (parts[2] == "geu") p.retry_cmp = tg::TgCmp::Geu;
+        else {
+            std::fprintf(stderr, "bad --poll cmp '%s'\n", parts[2].c_str());
+            std::exit(1);
+        }
+        p.retry_value = static_cast<u32>(std::strtoul(parts[3].c_str(), nullptr, 0));
+        p.inter_poll_idle =
+            static_cast<u32>(std::strtoul(parts[4].c_str(), nullptr, 0));
+        polls.push_back(p);
+    }
+    return polls;
+}
+
+} // namespace tgsim::cli

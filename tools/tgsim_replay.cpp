@@ -1,0 +1,81 @@
+// tgsim-replay — TG-platform simulation driver (the exploration half of the
+// paper's flow).
+//
+//   tgsim-replay core0.tgp core1.tgp ... --ic=xpipes 
+//       [--app=mp_matrix --cores=N --size=S]   (environment + result checks)
+//       [--no-skip] [--max-cycles=N]
+//
+// Loads one .tgp program per core onto a TG platform with the chosen
+// interconnect. With --app the shared-memory environment of the named
+// benchmark is initialised first and its result checks run afterwards —
+// a TG replay must leave memory exactly as the reference run did.
+#include <cstdio>
+
+#include "cli.hpp"
+#include "tg/program.hpp"
+
+using namespace tgsim;
+
+int main(int argc, char** argv) {
+    const cli::Args args{argc, argv};
+    if (args.positional().empty()) {
+        std::fprintf(stderr, "usage: tgsim-replay <tgp files> --ic=...\n");
+        return 1;
+    }
+    const auto ic = cli::parse_ic(args.get("ic", "amba"));
+    if (!ic) {
+        std::fprintf(stderr, "unknown --ic (amba|crossbar|xpipes)\n");
+        return 1;
+    }
+
+    std::vector<tg::TgProgram> programs;
+    for (const std::string& path : args.positional())
+        programs.push_back(tg::program_from_text(cli::read_text_file(path)));
+
+    apps::Workload env;
+    bool have_checks = false;
+    if (args.has("app")) {
+        const auto w = cli::make_workload(
+            args.get("app"), static_cast<u32>(args.get_u64("cores", programs.size())),
+            static_cast<u32>(args.get_u64("size", 24)));
+        if (!w) {
+            std::fprintf(stderr, "unknown --app\n");
+            return 1;
+        }
+        env = *w;
+        have_checks = !env.checks.empty();
+    } else {
+        env.cores.resize(programs.size());
+    }
+
+    platform::PlatformConfig cfg;
+    cfg.n_cores = static_cast<u32>(programs.size());
+    cfg.ic = *ic;
+    if (args.has("no-skip")) cfg.max_idle_skip = 0;
+
+    platform::Platform p{cfg};
+    p.load_tg_programs(programs, env);
+    const auto res = p.run(args.get_u64("max-cycles", 600'000'000));
+    if (!res.completed) {
+        std::fprintf(stderr, "did not complete within the cycle budget\n");
+        return 1;
+    }
+    std::printf("ic=%s cores=%u\n",
+                std::string(platform::to_string(*ic)).c_str(), cfg.n_cores);
+    std::printf("execution: %llu cycles; simulated in %.3f s wall\n",
+                static_cast<unsigned long long>(res.cycles), res.wall_seconds);
+    for (u32 i = 0; i < cfg.n_cores; ++i)
+        std::printf("  core %u halted @%llu\n", i,
+                    static_cast<unsigned long long>(res.per_core[i]));
+    std::printf("interconnect: %llu busy cycles, %llu contention cycles\n",
+                static_cast<unsigned long long>(p.interconnect().busy_cycles()),
+                static_cast<unsigned long long>(
+                    p.interconnect().contention_cycles()));
+    if (have_checks) {
+        std::string msg;
+        const bool ok = p.run_checks(env, &msg);
+        std::printf("checks: %s%s\n", ok ? "PASS" : "FAIL ", ok ? "" : msg.c_str());
+        return ok ? 0 : 1;
+    }
+    return 0;
+}

@@ -1,0 +1,28 @@
+// tgsim-tgdis — disassembles a TG .bin image back to .tgp text.
+//
+//   tgsim-tgdis program.bin [--out=program.tgp]
+#include <cstdio>
+
+#include "cli.hpp"
+#include "tg/program.hpp"
+
+using namespace tgsim;
+
+int main(int argc, char** argv) {
+    const cli::Args args{argc, argv};
+    if (args.positional().size() != 1) {
+        std::fprintf(stderr, "usage: tgsim-tgdis <file.bin> [--out=file.tgp]\n");
+        return 1;
+    }
+    const auto image = cli::load_image(args.positional()[0]);
+    const tg::TgProgram prog = tg::disassemble(image);
+    const std::string text = tg::to_text(prog);
+    if (args.has("out")) {
+        cli::write_text_file(args.get("out"), text);
+        std::printf("wrote %s (%zu instructions)\n", args.get("out").c_str(),
+                    prog.instrs.size());
+    } else {
+        std::printf("%s", text.c_str());
+    }
+    return 0;
+}
