@@ -30,8 +30,10 @@ struct Metrics {
 Metrics metrics_from(platform::Platform& p, const platform::RunResult& res) {
     Metrics m;
     m.cycles = res.cycles;
+    // res.cycles is halt-derived (poll-interval independent); kernel().now()
+    // may overshoot completion by up to the done-poll interval.
     m.bus_busy_frac = static_cast<double>(p.interconnect().busy_cycles()) /
-                      static_cast<double>(p.kernel().now());
+                      static_cast<double>(res.cycles);
     m.contention = p.interconnect().contention_cycles();
     u64 reads = 0;
     u64 lat = 0;

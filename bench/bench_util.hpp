@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/apps.hpp"
@@ -14,6 +15,65 @@
 namespace tgsim::bench {
 
 inline constexpr Cycle kMaxCycles = 600'000'000;
+
+/// Completion-predicate polling granularity for harness runs. The predicate
+/// scans every master; polling it every cycle is pure overhead in
+/// skip-eligible regions (reported cycle counts derive from per-master halt
+/// cycles and are interval-independent).
+inline constexpr Cycle kDoneCheckInterval = 1024;
+
+/// Machine-readable results: rows of named numeric metrics, written as
+/// BENCH_<name>.json into the working directory on destruction, so the perf
+/// trajectory (cycles/sec, wall seconds, gating speedup) is tracked across
+/// PRs and CI runs alongside the human-readable stdout tables.
+class JsonReport {
+public:
+    using Metrics = std::vector<std::pair<std::string, double>>;
+
+    explicit JsonReport(std::string name) : name_(std::move(name)) {}
+    JsonReport(const JsonReport&) = delete;
+    JsonReport& operator=(const JsonReport&) = delete;
+    ~JsonReport() { write(); }
+
+    void add_row(std::string row, Metrics metrics) {
+        rows_.emplace_back(std::move(row), std::move(metrics));
+    }
+
+    void write() const {
+        const std::string path = "BENCH_" + name_ + ".json";
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "WARN: cannot write %s\n", path.c_str());
+            return;
+        }
+        std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [",
+                     escaped(name_).c_str());
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            std::fprintf(f, "%s\n    {\"name\": \"%s\"", i ? "," : "",
+                         escaped(rows_[i].first).c_str());
+            for (const auto& [key, value] : rows_[i].second)
+                std::fprintf(f, ", \"%s\": %.17g", escaped(key).c_str(), value);
+            std::fprintf(f, "}");
+        }
+        std::fprintf(f, "\n  ]\n}\n");
+        std::fclose(f);
+        std::fprintf(stderr, "wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+    }
+
+private:
+    static std::string escaped(const std::string& s) {
+        std::string out;
+        out.reserve(s.size());
+        for (const char c : s) {
+            if (c == '"' || c == '\\') out.push_back('\\');
+            out.push_back(c);
+        }
+        return out;
+    }
+
+    std::string name_;
+    std::vector<std::pair<std::string, Metrics>> rows_;
+};
 
 /// Scale factor for workload sizes (TGSIM_SCALE env var, default 1).
 inline u32 scale() {
@@ -33,6 +93,7 @@ struct TimedRun {
 inline TimedRun run_cpu(const apps::Workload& w, platform::PlatformConfig cfg,
                         bool traced) {
     cfg.collect_traces = traced;
+    cfg.done_check_interval = kDoneCheckInterval;
     platform::Platform p{cfg};
     p.load_workload(w);
     TimedRun out;
@@ -69,6 +130,7 @@ inline platform::RunResult run_tg(const std::vector<tg::TgProgram>& programs,
                                   const apps::Workload& w,
                                   platform::PlatformConfig cfg) {
     cfg.collect_traces = false;
+    cfg.done_check_interval = kDoneCheckInterval;
     platform::Platform p{cfg};
     p.load_tg_programs(programs, w);
     const auto res = p.run(kMaxCycles);

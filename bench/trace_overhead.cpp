@@ -5,7 +5,10 @@
 // to be able to take advantage of 2x to 4x speedups."
 //
 // Measured here on MP matrix with four cores: plain run, traced run,
-// translation + assembly time, and the trace sizes.
+// translation + assembly time, and the trace sizes. The TG replay is timed
+// under both kernel schedules — legacy fully clocked and activity-driven
+// (per-component clock gating) — and the numbers land in
+// BENCH_trace_overhead.json for cross-PR tracking.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -19,6 +22,9 @@ int main() {
     platform::PlatformConfig cfg;
     cfg.n_cores = 4;
     cfg.ic = platform::IcKind::Amba;
+    // Paper-faithful reference costs: fully clocked kernel.
+    cfg.kernel_gating = false;
+    cfg.max_idle_skip = 0;
 
     std::printf("=== Trace collection overhead (Sec. 6, MP matrix 4P) ===\n\n");
 
@@ -45,6 +51,13 @@ int main() {
 
     t.restart();
     const auto tg_run = run_tg(programs, w, cfg);
+    platform::PlatformConfig gated_cfg = cfg;
+    gated_cfg.kernel_gating = true;
+    const auto tg_gated = run_tg(programs, w, gated_cfg);
+    if (tg_gated.cycles != tg_run.cycles) {
+        std::fprintf(stderr, "FATAL: clock gating changed results\n");
+        return 1;
+    }
 
     std::printf("plain reference run:        %8.3f s  (%llu cycles)\n",
                 plain.result.wall_seconds,
@@ -57,6 +70,10 @@ int main() {
     std::printf("TG simulation (reusable):   %8.3f s  -> gain %.2fx per exploration run\n",
                 tg_run.wall_seconds,
                 plain.result.wall_seconds / tg_run.wall_seconds);
+    std::printf("TG simulation (gated):      %8.3f s  -> gain %.2fx  (clock gating: %.2fx vs ungated)\n",
+                tg_gated.wall_seconds,
+                plain.result.wall_seconds / tg_gated.wall_seconds,
+                tg_run.wall_seconds / tg_gated.wall_seconds);
     std::printf("\ntrace volume: %llu events, %.2f MB as .trc text\n",
                 static_cast<unsigned long long>(events),
                 static_cast<double>(trc_bytes) / 1e6);
@@ -65,5 +82,27 @@ int main() {
     std::printf("\nExpected (paper): tracing adds a modest one-off overhead (~15%%)\n"
                 "plus a one-off translation pass; every subsequent exploration\n"
                 "simulation then enjoys the TG speedup.\n");
+
+    JsonReport report{"trace_overhead"};
+    report.add_row(
+        "mp_matrix/4P",
+        {{"ref_wall_s", plain.result.wall_seconds},
+         {"ref_cycles", static_cast<double>(plain.result.cycles)},
+         {"traced_wall_s", traced.result.wall_seconds},
+         {"tracing_overhead_pct",
+          100.0 * (traced.result.wall_seconds - plain.result.wall_seconds) /
+              plain.result.wall_seconds},
+         {"translate_wall_s", translate_secs},
+         {"tg_cycles", static_cast<double>(tg_run.cycles)},
+         {"tg_wall_s", tg_run.wall_seconds},
+         {"tg_wall_gated_s", tg_gated.wall_seconds},
+         {"tg_cycles_per_s",
+          static_cast<double>(tg_run.cycles) / tg_run.wall_seconds},
+         {"tg_cycles_per_s_gated",
+          static_cast<double>(tg_gated.cycles) / tg_gated.wall_seconds},
+         {"speedup_gating_vs_ungated",
+          tg_run.wall_seconds / tg_gated.wall_seconds},
+         {"trace_events", static_cast<double>(events)},
+         {"trace_bytes", static_cast<double>(trc_bytes)}});
     return 0;
 }

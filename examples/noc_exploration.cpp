@@ -112,9 +112,11 @@ int main() {
             100.0 *
             (static_cast<double>(tg_res.cycles) - static_cast<double>(cpu_res.cycles)) /
             static_cast<double>(cpu_res.cycles);
+        // Denominator: halt-derived completion time (poll-interval
+        // independent), not kernel().now() which may overshoot completion.
         const double busy =
             100.0 * static_cast<double>(tgp.interconnect().busy_cycles()) /
-            static_cast<double>(tgp.kernel().now());
+            static_cast<double>(tg_res.cycles);
         std::printf("%-18s %12llu %12llu %+8.2f%% %9.1f%% %10llu\n",
                     cand.name.c_str(),
                     static_cast<unsigned long long>(tg_res.cycles),

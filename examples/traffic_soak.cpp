@@ -2,6 +2,7 @@
 // entities (paper Sec. 4's entity 2 and 3) — the kind of standalone
 // stress setup one would put on a NoC test chip, built here entirely from
 // tgsim components without any CPU model or application.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -64,7 +65,7 @@ int main() {
     kernel.add(shared, sim::kStageSlave);
     kernel.add(dummy, sim::kStageSlave);
     kernel.add(bus, sim::kStageInterconnect);
-    kernel.set_max_skip(4096);
+    kernel.set_max_skip(4096); // legacy-mode bound (gating is the default)
 
     sim::WallTimer timer;
     const bool done = kernel.run_until(
@@ -73,12 +74,16 @@ int main() {
                 if (!m->done()) return false;
             return true;
         },
-        50'000'000);
+        50'000'000, /*check_interval=*/1024);
 
     std::printf("=== stochastic soak over AMBA with TG slave entities ===\n\n");
+    Cycle completion = 0;
+    for (const auto& m : masters)
+        completion = std::max(completion, m->halt_cycle());
     std::printf("completed: %s in %llu cycles (%.3f s wall)\n",
                 done ? "yes" : "NO",
-                static_cast<unsigned long long>(kernel.now()),
+                static_cast<unsigned long long>(done ? completion
+                                                     : kernel.now()),
                 timer.seconds());
     for (u32 i = 0; i < kMasters; ++i)
         std::printf("  master %u: %llu transactions, halted @%llu\n", i,

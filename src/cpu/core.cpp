@@ -24,6 +24,7 @@ void CpuCore::reset(u32 entry_addr) {
     icache_.invalidate_all();
     dcache_.invalidate_all();
     ch_.clear_request();
+    ch_.touch_m();
     driven_ = DriveState::Idle;
     req_gen_ = 0;
     driven_gen_ = 0;
@@ -65,6 +66,7 @@ void CpuCore::eval() {
     }
     driven_ = desired;
     driven_gen_ = req_gen_;
+    ch_.touch_m();
 }
 
 Cycle CpuCore::quiet_for() const {

@@ -37,8 +37,8 @@ void AhbBus::eval() {
     // active ones below. Skipped entirely while the bus is quiescent and the
     // wires are known clean (they persist).
     if (bridge_.active() || wires_dirty_) {
-        for (ocp::Channel* m : masters_) m->clear_response();
-        for (ocp::Channel* s : slaves_) s->clear_request();
+        for (ocp::Channel* m : masters_) m->tidy_response();
+        for (ocp::Channel* s : slaves_) s->tidy_request();
         wires_dirty_ = false;
     }
 

@@ -51,6 +51,11 @@ public:
         return (!bridge_.active() && !wires_dirty_) ? sim::kQuietForever : 0;
     }
     void advance(Cycle cycles) override { stats_.idle_cycles += cycles; }
+    /// A quiescent bus reacts only to a master asserting a command; slave
+    /// wires never move while no transaction is in flight.
+    void watch_inputs(std::vector<const u32*>& out) const override {
+        for (const ocp::Channel* m : masters_) out.push_back(&m->m_gen);
+    }
 
     [[nodiscard]] const AhbStats& stats() const noexcept { return stats_; }
     [[nodiscard]] u64 busy_cycles() const override { return stats_.busy_cycles; }

@@ -30,6 +30,7 @@ void Bridge::drive_request_beat() {
     s_->m_addr = addr_;
     s_->m_data = m_->m_data; // live: master holds the current beat until accept
     s_->m_burst = burst_;
+    s_->touch_m();
 }
 
 void Bridge::eval_request() {
@@ -40,6 +41,7 @@ void Bridge::eval_request() {
     if (accepted) {
         pending_ = false;
         m_->s_cmd_accept = true;
+        m_->touch_s();
         ++beats_accepted_;
         if (read_) {
             phase_ = Phase::Response;
@@ -64,7 +66,9 @@ void Bridge::eval_response() {
             m_->s_resp = s_->s_resp;
             m_->s_data = s_->s_data;
             m_->s_resp_last = (beats_responded_ + 1 == burst_);
+            m_->touch_s();
             s_->m_resp_accept = true;
+            s_->touch_m();
             ++beats_responded_;
             if (beats_responded_ == burst_) active_ = false;
         }
@@ -75,6 +79,7 @@ void Bridge::eval_response() {
         m_->s_resp = ocp::Resp::Err;
         m_->s_data = kErrData;
         m_->s_resp_last = (beats_responded_ + 1 == burst_);
+        m_->touch_s();
         ++beats_responded_;
         if (beats_responded_ == burst_) active_ = false;
     }

@@ -20,8 +20,8 @@ std::size_t Crossbar::connect_slave(ocp::Channel& ch, u32 base, u32 size,
 }
 
 void Crossbar::eval() {
-    for (ocp::Channel* m : masters_) m->clear_response();
-    for (SlavePort& sp : slaves_) sp.ch->clear_request();
+    for (ocp::Channel* m : masters_) m->tidy_response();
+    for (SlavePort& sp : slaves_) sp.ch->tidy_request();
 
     bool any_active = false;
 

@@ -39,6 +39,10 @@ public:
             if (sp.bridge.active()) return 0;
         return sim::kQuietForever;
     }
+    /// Quiescent crossbar: only a master asserting a command re-arms it.
+    void watch_inputs(std::vector<const u32*>& out) const override {
+        for (const ocp::Channel* m : masters_) out.push_back(&m->m_gen);
+    }
 
     [[nodiscard]] const CrossbarStats& stats() const noexcept { return stats_; }
     [[nodiscard]] u64 busy_cycles() const override { return stats_.busy_cycles; }

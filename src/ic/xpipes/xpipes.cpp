@@ -82,7 +82,7 @@ std::optional<std::size_t> XpipesNetwork::neighbor(u16 node, int port) const noe
 
 void XpipesNetwork::eval_master_ni(MasterNi& ni) {
     ocp::Channel& ch = *ni.ch;
-    ch.clear_response();
+    ch.tidy_response();
     switch (ni.st) {
         case MasterNi::St::Idle: {
             if (ch.m_cmd == ocp::Cmd::Idle) break;
@@ -104,6 +104,7 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
             if (ni.err) {
                 ++stats_.decode_errors;
                 ch.s_cmd_accept = true; // consume the first (or only) beat
+                ch.touch_s();
                 if (ocp::is_write(ni.cmd)) {
                     ni.beats = 1;
                     ni.st = (ni.beats == ni.burst) ? MasterNi::St::Idle
@@ -126,6 +127,7 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
             ++flits_active_;
             ++stats_.packets_sent;
             ch.s_cmd_accept = true;
+            ch.touch_s();
             if (ocp::is_write(ni.cmd)) {
                 Flit beat;
                 beat.kind = Flit::Kind::Payload;
@@ -150,6 +152,7 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
         case MasterNi::St::CollectWrite: {
             if (!ocp::is_write(ch.m_cmd)) break; // master must hold the burst
             ch.s_cmd_accept = true;
+            ch.touch_s();
             if (!ni.err) {
                 Flit beat;
                 beat.kind = Flit::Kind::Payload;
@@ -173,6 +176,7 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
             ch.s_resp = ni.err ? ocp::Resp::Err : ocp::Resp::Dva;
             ch.s_data = ni.rx.front();
             ch.s_resp_last = (ni.resp_sent + 1 == ni.burst);
+            ch.touch_s();
             ni.rx.pop_front();
             ++ni.resp_sent;
             if (ni.resp_sent == ni.burst) ni.st = MasterNi::St::Idle;
@@ -184,7 +188,7 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
 
 void XpipesNetwork::eval_slave_ni(SlaveNi& ni) {
     ocp::Channel& ch = *ni.ch;
-    ch.clear_request();
+    ch.tidy_request();
     switch (ni.st) {
         case SlaveNi::St::Idle: {
             if (!ni.rx_has_packet) break;
@@ -230,6 +234,7 @@ void XpipesNetwork::eval_slave_ni(SlaveNi& ni) {
             ch.m_data = ocp::is_write(ni.hdr.cmd) && ni.beats_driven < ni.wdata.size()
                             ? ni.wdata[ni.beats_driven]
                             : 0;
+            ch.touch_m();
             ni.pending = true;
             break;
         }
@@ -237,6 +242,7 @@ void XpipesNetwork::eval_slave_ni(SlaveNi& ni) {
             any_activity_ = true;
             if (ch.s_resp == ocp::Resp::None) break;
             ch.m_resp_accept = true;
+            ch.touch_m();
             if (ni.beats_resp == 0) {
                 Flit head;
                 head.kind = Flit::Kind::Head;

@@ -60,6 +60,11 @@ public:
     [[nodiscard]] Cycle quiet_for() const override {
         return (!any_activity_ && flits_active_ == 0) ? sim::kQuietForever : 0;
     }
+    /// A drained network (no flits, idle NIs) only reacts to a master
+    /// asserting a command at one of the master NIs.
+    void watch_inputs(std::vector<const u32*>& out) const override {
+        for (const MasterNi& ni : masters_) out.push_back(&ni.ch->m_gen);
+    }
 
     [[nodiscard]] const XpipesStats& stats() const noexcept { return stats_; }
     [[nodiscard]] u64 busy_cycles() const override { return stats_.busy_cycles; }

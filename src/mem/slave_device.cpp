@@ -19,6 +19,7 @@ void SlaveDevice::eval() {
         latched_accept_ = false;
         if (!wires_clean_) {
             ch_.clear_response();
+            ch_.touch_s();
             wires_clean_ = true;
         }
         return;
@@ -43,6 +44,7 @@ void SlaveDevice::eval() {
         ch_.s_data = resp_buf_[beats_done_];
         ch_.s_resp_last = (beats_done_ + 1 == cur_burst_);
     }
+    ch_.touch_s(); // conservative: this path re-drives the response group
 }
 
 void SlaveDevice::update() {

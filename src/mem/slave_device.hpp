@@ -41,6 +41,10 @@ public:
                    ? sim::kQuietForever
                    : 0;
     }
+    /// While idle the device only reacts to its request wires.
+    void watch_inputs(std::vector<const u32*>& out) const override {
+        out.push_back(&ch_.m_gen);
+    }
 
     /// True when the device is between transactions.
     [[nodiscard]] bool idle() const noexcept { return state_ == State::Idle; }

@@ -15,6 +15,13 @@
 // a command driven this cycle can be accepted this same cycle, while
 // responses crossing an interconnect incur one registered cycle — matching a
 // bus with a combinational address path and a registered read-data path.
+//
+// Each side additionally carries an *activity generation counter* (m_gen /
+// s_gen) that its driver bumps whenever it (possibly) changes that side's
+// wires. The gating kernel (sim/kernel.hpp) watches these counters to re-arm
+// clock-gated observers exactly when their inputs move. Over-bumping (a bump
+// without an actual value change) merely costs a spurious wake; a missed
+// bump breaks bit-reproducibility, so drivers bump conservatively.
 #pragma once
 
 #include "ocp/types.hpp"
@@ -39,7 +46,26 @@ struct Channel {
     u32 s_data = 0;
     bool s_resp_last = false; ///< current response beat is the final beat
 
-    /// Resets the master-driven wires to the idle state.
+    // --- activity generation counters (see header comment) ---
+    u32 m_gen = 0; ///< bumped when the master-driven wires (m_*) change
+    u32 s_gen = 0; ///< bumped when the slave-driven wires (s_*) change
+
+    /// The driver of the m_* group calls this after changing any m_* wire.
+    void touch_m() noexcept { ++m_gen; }
+    /// The driver of the s_* group calls this after changing any s_* wire.
+    void touch_s() noexcept { ++s_gen; }
+
+    [[nodiscard]] bool request_is_idle() const noexcept {
+        return m_cmd == Cmd::Idle && m_addr == 0 && m_data == 0 &&
+               m_burst == 1 && !m_resp_accept;
+    }
+    [[nodiscard]] bool response_is_idle() const noexcept {
+        return !s_cmd_accept && s_resp == Resp::None && s_data == 0 &&
+               !s_resp_last;
+    }
+
+    /// Resets the master-driven wires to the idle state (no activity bump;
+    /// prefer tidy_request() in eval paths).
     void clear_request() noexcept {
         m_cmd = Cmd::Idle;
         m_addr = 0;
@@ -48,12 +74,31 @@ struct Channel {
         m_resp_accept = false;
     }
 
-    /// Resets the slave-driven wires to the idle state.
+    /// Resets the slave-driven wires to the idle state (no activity bump;
+    /// prefer tidy_response() in eval paths).
     void clear_response() noexcept {
         s_cmd_accept = false;
         s_resp = Resp::None;
         s_data = 0;
         s_resp_last = false;
+    }
+
+    /// Idles the m_* group, bumping m_gen only when something was driven;
+    /// returns true if the wires changed. Cheap enough for per-cycle
+    /// default-drive passes (the idle case is a few compares, no stores).
+    bool tidy_request() noexcept {
+        if (request_is_idle()) return false;
+        clear_request();
+        touch_m();
+        return true;
+    }
+
+    /// Idles the s_* group, bumping s_gen only when something was driven.
+    bool tidy_response() noexcept {
+        if (response_is_idle()) return false;
+        clear_response();
+        touch_s();
+        return true;
     }
 
     void clear() noexcept {

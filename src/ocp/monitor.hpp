@@ -40,6 +40,11 @@ public:
     [[nodiscard]] Cycle quiet_for() const override {
         return (!active_ && ch_.m_cmd == Cmd::Idle) ? sim::kQuietForever : 0;
     }
+    /// Between transactions the monitor only reacts to the request group
+    /// going non-idle.
+    void watch_inputs(std::vector<const u32*>& out) const override {
+        out.push_back(&ch_.m_gen);
+    }
 
     /// Total transactions observed.
     [[nodiscard]] u64 transactions() const noexcept { return count_; }

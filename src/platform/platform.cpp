@@ -11,6 +11,7 @@ namespace tgsim::platform {
 Platform::Platform(PlatformConfig cfg) : cfg_(std::move(cfg)) {
     if (cfg_.n_cores == 0) throw std::invalid_argument{"Platform: zero cores"};
     kernel_.set_max_skip(cfg_.max_idle_skip);
+    kernel_.set_gating(cfg_.kernel_gating);
     build_fabric();
 }
 
@@ -193,7 +194,8 @@ RunResult Platform::run(Cycle max_cycles) {
         throw std::logic_error{"Platform: no masters loaded"};
     sim::WallTimer timer;
     const bool completed =
-        kernel_.run_until([this] { return all_done(); }, max_cycles);
+        kernel_.run_until([this] { return all_done(); }, max_cycles,
+                          cfg_.done_check_interval);
     RunResult res;
     res.completed = completed;
     res.wall_seconds = timer.seconds();

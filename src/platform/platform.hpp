@@ -56,9 +56,23 @@ struct PlatformConfig {
     /// Mesh dimensions for IcKind::Xpipes; 0 = choose automatically.
     ic::XpipesConfig xpipes{0, 0, 4};
     bool collect_traces = false;
-    /// Kernel quiescence-skip bound (cycles); 0 disables. Bit-identical
-    /// results either way — only simulation wall time changes.
+    /// Per-component clock gating in the kernel (sim/kernel.hpp). On by
+    /// default; disable for the legacy every-component-every-cycle schedule.
+    /// Results are bit-identical either way — only wall time changes.
+    bool kernel_gating = true;
+    /// Legacy-mode (kernel_gating = false) global quiescence-skip bound in
+    /// cycles; 0 disables skipping entirely (fully clocked kernel). Skips
+    /// never cross a completion-poll boundary, so this only pays off with a
+    /// done_check_interval coarser than the default 1.
     Cycle max_idle_skip = 1u << 20;
+    /// How often run() polls its completion predicate, in cycles. Coarser
+    /// intervals amortise the all-masters-halted scan on large platforms
+    /// and are required for multi-cycle fast-forwards (gated jumps, legacy
+    /// skips) to engage. Completion times are derived from per-master halt
+    /// cycles, so reported cycle counts do not depend on this; only the
+    /// post-completion settle point (and thus wall time) does, which is why
+    /// the default is coarse. Set to 1 to poll every cycle.
+    Cycle done_check_interval = 1024;
 };
 
 struct RunResult {

@@ -7,7 +7,14 @@
 namespace tgsim::sim {
 
 void Kernel::add(Clocked& component, int stage, std::string name) {
-    slots_.push_back(Slot{&component, stage, slots_.size(), std::move(name)});
+    // Late registration while components are parked would invalidate slot
+    // indices held by the wake heap; settle everything first.
+    if (parked_count_ > 0) unpark_all();
+    slots_.push_back(Slot{});
+    slots_.back().component = &component;
+    slots_.back().stage = stage;
+    slots_.back().order = slots_.size() - 1;
+    slots_.back().name = std::move(name);
     sorted_ = false;
 }
 
@@ -22,19 +29,29 @@ void Kernel::sort_slots() {
     sorted_ = true;
 }
 
+void Kernel::set_gating(bool on) {
+    if (!on && parked_count_ > 0) unpark_all();
+    gating_ = on;
+}
+
 void Kernel::tick() {
     if (!sorted_) sort_slots();
+    if (parked_count_ > 0) unpark_all();
     for (Clocked* c : tick_order_) c->eval();
     for (Clocked* c : tick_order_) c->update();
     ++now_;
 }
 
+// --- legacy (ungated) schedule ---------------------------------------------
+
 Cycle Kernel::step(Cycle cap) {
-    tick();
+    for (Clocked* c : tick_order_) c->eval();
+    for (Clocked* c : tick_order_) c->update();
+    ++now_;
     if (cap == 0) return 1;
-    // Quiescence probe: bail out at the first non-quiet component. If every
-    // component is quiet indefinitely there is no upcoming event at all, so
-    // skipping would only inflate now_ past the end of time — don't.
+    // Global quiescence probe: bail out at the first non-quiet component. If
+    // every component is quiet indefinitely there is no upcoming event at
+    // all, so skipping would only inflate now_ past the end of time — don't.
     Cycle q = kQuietForever;
     for (Clocked* c : tick_order_) {
         const Cycle cq = c->quiet_for();
@@ -50,22 +67,191 @@ Cycle Kernel::step(Cycle cap) {
     return 1 + q;
 }
 
-void Kernel::run(Cycle cycles) {
-    Cycle consumed = 0;
-    while (consumed < cycles) {
-        const Cycle budget = cycles - consumed - 1;
-        consumed += step(std::min(max_skip_, budget));
+// --- gated schedule ---------------------------------------------------------
+
+u64 Kernel::gen_sum(const Slot& s) const noexcept {
+    u64 sum = 0;
+    for (const u32* g : s.watch) sum += *g;
+    return sum;
+}
+
+void Kernel::wake_slot(Slot& s) {
+    const Cycle skipped = now_ - s.parked_since;
+    if (skipped > 0) s.component->advance(skipped);
+    s.parked = false;
+    s.wake_at = kNoWake;
+    --parked_count_;
+}
+
+void Kernel::gated_tick() {
+    // Due timer wakes.
+    while (!wake_heap_.empty() && wake_heap_.front().first <= now_) {
+        std::pop_heap(wake_heap_.begin(), wake_heap_.end(),
+                      std::greater<>{});
+        const auto [when, idx] = wake_heap_.back();
+        wake_heap_.pop_back();
+        Slot& s = slots_[idx];
+        if (s.parked && s.wake_at == when) wake_slot(s);
+    }
+
+    // Eval phase. A parked component is checked for input activity at its
+    // own position in the (stage, order) sequence: changes driven earlier
+    // this cycle are observed this cycle, changes driven later are caught
+    // here next cycle — exactly the fully clocked schedule's visibility.
+    for (Slot& s : slots_) {
+        if (s.parked) {
+            if (s.watch.empty() || gen_sum(s) == s.gen_seen) continue;
+            wake_slot(s);
+        }
+        s.component->eval();
+    }
+    for (Slot& s : slots_) {
+        if (!s.parked) s.component->update();
+    }
+    ++now_;
+
+    // Parking decisions for the still-active set.
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        Slot& s = slots_[i];
+        if (s.parked) continue;
+        const Cycle q = s.component->quiet_for();
+        if (q == 0) continue;
+        if (!s.watch_cached) {
+            s.component->watch_inputs(s.watch);
+            s.watch_cached = true;
+        }
+        s.parked = true;
+        s.parked_since = now_;
+        s.gen_seen = gen_sum(s);
+        ++parked_count_;
+        if (q >= kQuietForever - now_) {
+            s.wake_at = kNoWake; // inert until inputs move
+        } else {
+            s.wake_at = now_ + q;
+            wake_heap_.emplace_back(s.wake_at, i);
+            std::push_heap(wake_heap_.begin(), wake_heap_.end(),
+                           std::greater<>{});
+        }
     }
 }
 
-bool Kernel::run_until(const std::function<bool()>& done, Cycle max_cycles) {
-    Cycle consumed = 0;
-    while (consumed < max_cycles) {
-        if (done()) return true;
-        const Cycle budget = max_cycles - consumed - 1;
-        consumed += step(std::min(max_skip_, budget));
+Cycle Kernel::next_wake() {
+    while (!wake_heap_.empty()) {
+        const auto [when, idx] = wake_heap_.front();
+        const Slot& s = slots_[idx];
+        if (s.parked && s.wake_at == when) return when;
+        std::pop_heap(wake_heap_.begin(), wake_heap_.end(),
+                      std::greater<>{});
+        wake_heap_.pop_back();
     }
+    return kNoWake;
+}
+
+void Kernel::settle_parked() {
+    if (parked_count_ == 0) return;
+    for (Slot& s : slots_) {
+        if (!s.parked || s.parked_since >= now_) continue;
+        s.component->advance(now_ - s.parked_since);
+        s.parked_since = now_;
+    }
+}
+
+void Kernel::unpark_all() {
+    if (parked_count_ == 0) return;
+    for (Slot& s : slots_)
+        if (s.parked) wake_slot(s);
+    wake_heap_.clear();
+}
+
+// --- run loops --------------------------------------------------------------
+
+void Kernel::run(Cycle cycles) {
+    if (!sorted_) sort_slots();
+    Cycle consumed = 0;
+    if (!gating_) {
+        unpark_all();
+        while (consumed < cycles) {
+            const Cycle budget = cycles - consumed - 1;
+            consumed += step(std::min(max_skip_, budget));
+        }
+        return;
+    }
+    while (consumed < cycles) {
+        if (parked_count_ == slots_.size() && !slots_.empty()) {
+            // Everything is clock-gated: jump to the earliest wake (or the
+            // end of the budget — a fully inert platform has no events).
+            const Cycle nw = next_wake();
+            Cycle jump = cycles - consumed;
+            if (nw != kNoWake && nw - now_ < jump) jump = nw - now_;
+            if (jump > 0) {
+                now_ += jump;
+                consumed += jump;
+                continue;
+            }
+        }
+        gated_tick();
+        ++consumed;
+    }
+    settle_parked();
+}
+
+bool Kernel::run_until(const std::function<bool()>& done, Cycle max_cycles,
+                       Cycle check_interval) {
+    if (!sorted_) sort_slots();
+    if (check_interval == 0) check_interval = 1;
+    Cycle consumed = 0;
+    Cycle next_check = 0;
+    if (!gating_) {
+        unpark_all();
+        while (consumed < max_cycles) {
+            if (consumed >= next_check) {
+                if (done()) return true;
+                next_check = consumed + check_interval;
+            }
+            // Skips never cross a done-poll boundary: both schedules honour
+            // the same polling contract.
+            const Cycle budget = std::min(max_cycles, next_check) - consumed - 1;
+            consumed += step(std::min(max_skip_, budget));
+        }
+        return done();
+    }
+    while (consumed < max_cycles) {
+        if (consumed >= next_check) {
+            // The predicate must observe the same state it would under the
+            // clocked schedule — fast-forward parked components to now.
+            settle_parked();
+            if (done()) return true;
+            next_check = consumed + check_interval;
+        }
+        if (parked_count_ == slots_.size() && !slots_.empty()) {
+            // Jump towards the earliest wake, but never past a done-poll
+            // boundary: the predicate may watch now(), and the contract is
+            // that it is polled at least every check_interval cycles.
+            const Cycle nw = next_wake();
+            Cycle jump = std::min(max_cycles, next_check) - consumed;
+            if (nw != kNoWake)
+                jump = std::min(jump, nw > now_ ? nw - now_ : Cycle{0});
+            if (jump > 0) {
+                now_ += jump;
+                consumed += jump;
+                continue;
+            }
+        }
+        gated_tick();
+        ++consumed;
+    }
+    settle_parked();
     return done();
+}
+
+void Kernel::notify(Clocked& component) {
+    if (parked_count_ == 0) return;
+    for (Slot& s : slots_) {
+        if (s.component == &component) {
+            if (s.parked) wake_slot(s);
+            return;
+        }
+    }
 }
 
 const std::string& Kernel::component_name(std::size_t index) const {

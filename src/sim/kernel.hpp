@@ -1,7 +1,7 @@
-// Cycle-true two-phase simulation kernel.
+// Cycle-true two-phase simulation kernel with per-component clock gating.
 //
 // Every hardware block in the platform derives from Clocked and is registered
-// with the Kernel at a fixed evaluation stage. A kernel tick runs:
+// with the Kernel at a fixed evaluation stage. A kernel cycle runs:
 //
 //   eval()   over all components in ascending (stage, registration) order,
 //   update() over all components in the same order.
@@ -25,11 +25,35 @@
 // modelled wire bundles, simulation results are bit-reproducible across runs
 // and hosts. All wires are driven in eval() only; update() reads wires and
 // mutates private state only.
+//
+// --- Activity-driven scheduling -------------------------------------------
+//
+// Paying O(all components) every cycle defeats the purpose of a lightweight
+// TG platform, so run()/run_until() gate the clock per component. A component
+// whose quiet_for() returns n > 0 is *parked*: it stops receiving eval() and
+// update() calls and is re-armed either
+//
+//   * by timer — a min-heap of wake times fires at now + n, or
+//   * by activity — the component names the activity generation counters of
+//     the wire groups it observes (watch_inputs(), see ocp::Channel::m_gen /
+//     s_gen); whenever one of those counters moves, the component is woken at
+//     its own position in the eval order, so it observes the change on
+//     exactly the cycle it would have in the fully clocked schedule.
+//
+// On wake the kernel calls advance(k) with the number of skipped cycles, so
+// per-cycle accounting (idle counters, internal clocks) stays bit-identical
+// to the ungated schedule. When every component is parked the kernel jumps
+// straight to the earliest pending wake time. set_gating(false) restores the
+// legacy behaviour (tick every cycle; optional *global* quiescence skip
+// bounded by set_max_skip). Results are bit-identical in all modes — only
+// wall time changes. See docs/kernel.md for the full protocol and the rules
+// a Clocked subclass must follow.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -61,17 +85,29 @@ public:
 
     /// Quiescence contract (optional): the number of upcoming cycles during
     /// which this component is guaranteed to neither change any wires nor
-    /// behave differently if ticked — PROVIDED its input wires also stay
-    /// unchanged. The kernel skips ahead only when every component is quiet,
-    /// which makes the input-stability premise self-fulfilling. Components
-    /// that cannot reason about this return 0 (the default), which disables
-    /// skipping while they are registered... and is always safe.
+    /// behave differently if ticked — PROVIDED the wire groups it watches
+    /// (watch_inputs) stay unchanged at its observation point in the eval
+    /// order. A component whose inputs are non-idle *right now* must return
+    /// 0: the gating kernel snapshots the activity counters at parking time,
+    /// so a change that already happened would never trigger a wake.
+    /// Components that cannot reason about this return 0 (the default),
+    /// which keeps them clocked every cycle... and is always safe.
     [[nodiscard]] virtual Cycle quiet_for() const { return 0; }
 
     /// Fast-forwards internal time by `cycles` (only ever called with
     /// 1 <= cycles <= quiet_for()). Must leave the component exactly as if
     /// it had been ticked `cycles` times under unchanged inputs.
     virtual void advance(Cycle cycles) { (void)cycles; }
+
+    /// Activity subscription (optional): appends pointers to the activity
+    /// generation counters (e.g. ocp::Channel::m_gen) of every wire group
+    /// this component observes while quiet. The gating kernel re-arms a
+    /// parked component as soon as any watched counter moves. Components
+    /// that are input-insensitive while quiet (masters sleeping on a timer)
+    /// leave the list empty and wake by timer only. Called once, lazily, the
+    /// first time the component parks — the watch set must be stable from
+    /// then on.
+    virtual void watch_inputs(std::vector<const u32*>& out) const { (void)out; }
 };
 
 /// Deterministic cycle-driven scheduler. Non-owning: components are owned by
@@ -87,48 +123,98 @@ public:
     /// Current cycle (number of completed ticks).
     [[nodiscard]] Cycle now() const noexcept { return now_; }
 
-    /// Advances the simulation by one clock cycle.
+    /// Advances the simulation by one clock cycle, evaluating every
+    /// component (any parked component is settled and re-armed first).
     void tick();
 
-    /// Enables quiescence skipping (see Clocked::quiet_for): after each tick
-    /// in run()/run_until(), if every component reports itself quiet, the
-    /// kernel fast-forwards up to `max_skip` cycles in one step. 0 disables
-    /// (the default). Results are bit-identical either way; only wall time
-    /// changes — this is the discrete-event shortcut SystemC-style platforms
-    /// (like the paper's MPARM) get from wait(n) threads.
+    /// Enables per-component clock gating in run()/run_until() (the
+    /// default). Disabling restores the legacy schedule: every component is
+    /// clocked every cycle, with an optional global quiescence skip bounded
+    /// by set_max_skip(). Results are bit-identical either way.
+    void set_gating(bool on);
+    [[nodiscard]] bool gating() const noexcept { return gating_; }
+
+    /// Legacy mode (set_gating(false)) only: after each tick, if every
+    /// component reports itself quiet, fast-forward up to `max_skip` cycles
+    /// in one step. 0 disables.
     void set_max_skip(Cycle max_skip) noexcept { max_skip_ = max_skip; }
     [[nodiscard]] Cycle max_skip() const noexcept { return max_skip_; }
 
-    /// Advances by `cycles` ticks (honouring quiescence skipping).
+    /// Advances by `cycles` ticks.
     void run(Cycle cycles);
 
     /// Ticks until `done()` returns true or `max_cycles` elapse (whichever is
-    /// first). Returns true if `done()` fired, false on timeout.
-    bool run_until(const std::function<bool()>& done, Cycle max_cycles);
+    /// first). Returns true if `done()` fired, false on timeout. `done` is
+    /// polled at least every `check_interval` consumed cycles, observing the
+    /// exact state the clocked schedule would show (parked components are
+    /// settled first), and skips/jumps never cross a poll boundary — so
+    /// both the gated jump and the legacy global skip only pay off with a
+    /// check_interval coarser than the default 1.
+    bool run_until(const std::function<bool()>& done, Cycle max_cycles,
+                   Cycle check_interval = 1);
+
+    /// Wake hook: re-arms `component` immediately if it is parked (its
+    /// skipped cycles are settled via advance()). For external agents that
+    /// change component-visible state outside the wire/timer protocol.
+    /// Callable between ticks; unknown components are ignored.
+    void notify(Clocked& component);
 
     /// Number of registered components.
     [[nodiscard]] std::size_t component_count() const noexcept { return slots_.size(); }
+    /// Number of currently parked (clock-gated) components; diagnostics.
+    [[nodiscard]] std::size_t parked_count() const noexcept { return parked_count_; }
 
     /// Name given at registration (empty if none); for diagnostics.
     [[nodiscard]] const std::string& component_name(std::size_t index) const;
 
 private:
+    static constexpr Cycle kNoWake = ~Cycle{0};
+
     struct Slot {
         Clocked* component = nullptr;
         int stage = 0;
         std::size_t order = 0;
         std::string name;
+        // --- gating state ---
+        bool parked = false;
+        bool watch_cached = false;
+        Cycle parked_since = 0;  ///< first gated cycle
+        Cycle wake_at = kNoWake; ///< scheduled timer wake (kNoWake: none)
+        u64 gen_seen = 0;        ///< watched-counter sum at parking time
+        /// Cached activity counters this component watches (watch_inputs).
+        std::vector<const u32*> watch;
     };
 
     void sort_slots();
-    /// One tick plus an optional quiescence skip bounded by `cap`; returns
-    /// the number of cycles consumed (>= 1).
+    /// Legacy mode: one tick plus an optional global quiescence skip bounded
+    /// by `cap`; returns the number of cycles consumed (>= 1).
     Cycle step(Cycle cap);
+
+    /// One gated cycle: fires due timer wakes, re-arms parked components
+    /// whose watched counters moved (at their position in the eval order),
+    /// evals+updates the active set, then parks newly quiet components.
+    void gated_tick();
+    [[nodiscard]] u64 gen_sum(const Slot& s) const noexcept;
+    void wake_slot(Slot& s);
+    /// Settles every parked component to now_ via advance() (they stay
+    /// parked); makes externally observed state identical to the fully
+    /// clocked schedule.
+    void settle_parked();
+    /// Settles and un-parks everything; used at gating-mode boundaries.
+    void unpark_all();
+    /// Earliest valid pending timer wake, or kNoWake. Lazily drops stale
+    /// heap entries.
+    [[nodiscard]] Cycle next_wake();
 
     std::vector<Slot> slots_;
     /// Compact dispatch array rebuilt by sort_slots(); iterated every tick
     /// so it stays free of cold metadata (names etc.).
     std::vector<Clocked*> tick_order_;
+    /// Min-heap of (wake time, slot index); entries are invalidated lazily
+    /// (a slot's authoritative wake time is Slot::wake_at).
+    std::vector<std::pair<Cycle, std::size_t>> wake_heap_;
+    std::size_t parked_count_ = 0;
+    bool gating_ = true;
     bool sorted_ = true;
     Cycle now_ = 0;
     Cycle max_skip_ = 0;

@@ -57,6 +57,7 @@ void StochasticTg::eval() {
         ch_.m_data = req_.data + req_.wbeats; // distinguishable beat values
         ch_.m_burst = req_.burst;
         ch_.m_resp_accept = ocp::is_read(req_.cmd);
+        ch_.touch_m();
         wires_clean_ = false;
     } else if (req_.active) {
         ch_.m_cmd = ocp::Cmd::Idle;
@@ -64,9 +65,11 @@ void StochasticTg::eval() {
         ch_.m_data = 0;
         ch_.m_burst = 1;
         ch_.m_resp_accept = ocp::is_read(req_.cmd);
+        ch_.touch_m();
         wires_clean_ = false;
     } else if (!wires_clean_) {
         ch_.clear_request();
+        ch_.touch_m();
         wires_clean_ = true;
     }
 }

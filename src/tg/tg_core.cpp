@@ -22,6 +22,7 @@ void TgCore::reset() {
     halt_cycle_ = 0;
     stats_ = TgStats{};
     ch_.clear_request();
+    ch_.touch_m();
     driven_ = DriveState::Idle;
     req_gen_ = 0;
     driven_gen_ = 0;
@@ -67,6 +68,7 @@ void TgCore::eval() {
     driven_ = desired;
     driven_gen_ = req_gen_;
     driven_beat_ = req_.wbeats_done;
+    ch_.touch_m();
 }
 
 Cycle TgCore::quiet_for() const {

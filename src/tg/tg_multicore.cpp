@@ -66,13 +66,16 @@ void TgMultiCore::eval() {
         else
             ch_.m_data = 0;
         ch_.m_resp_accept = ocp::is_read(req_.cmd);
+        ch_.touch_m();
         wires_clean_ = false;
     } else if (req_.active) { // read awaiting response
         ch_.m_cmd = ocp::Cmd::Idle;
         ch_.m_resp_accept = true;
+        ch_.touch_m();
         wires_clean_ = false;
     } else if (!wires_clean_) {
         ch_.clear_request();
+        ch_.touch_m();
         wires_clean_ = true;
     }
 }

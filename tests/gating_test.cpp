@@ -1,0 +1,302 @@
+// Property tests for per-component clock gating (sim/kernel.hpp): on every
+// example platform shape — the quickstart CPU->TG flow, the NoC-exploration
+// fabrics, the stochastic traffic soak and the multithreaded TG — the gated
+// schedule must be observationally indistinguishable from the fully clocked
+// one: identical completion cycles, register files, memory images, monitor
+// traces (byte-for-byte) and component statistics. Only wall time may differ.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "platform/platform.hpp"
+#include "test_util.hpp"
+#include "tg/stochastic.hpp"
+#include "tg/tg_multicore.hpp"
+#include "tg/trace.hpp"
+
+namespace tgsim {
+namespace {
+
+using apps::Workload;
+using platform::IcKind;
+using platform::PlatformConfig;
+
+PlatformConfig cfg_for(u32 cores, IcKind ic, bool gating) {
+    PlatformConfig cfg;
+    cfg.n_cores = cores;
+    cfg.ic = ic;
+    cfg.kernel_gating = gating;
+    // The ungated reference is the fully clocked legacy schedule: no global
+    // quiescence skip either, so every component ticks every cycle.
+    if (!gating) cfg.max_idle_skip = 0;
+    return cfg;
+}
+
+/// Everything externally observable about one simulation run.
+struct Observation {
+    platform::RunResult result;
+    std::vector<Cycle> halts;
+    std::vector<std::vector<u32>> regs; ///< per master, full register file
+    std::vector<std::string> traces;    ///< rendered .trc text, per master
+    std::vector<u64> slave_counts;      ///< reads/writes served, per slave
+    u64 ic_busy = 0;
+    u64 ic_contention = 0;
+    u64 sem_acquisitions = 0;
+    u64 sem_failed_polls = 0;
+    u64 shared_crc = 0; ///< FNV over a shared-memory window
+};
+
+u64 fnv_step(u64 h, u32 w) { return (h ^ w) * 0x100000001b3ull; }
+
+Observation observe_cpu_run(const Workload& w, PlatformConfig cfg) {
+    cfg.collect_traces = true;
+    platform::Platform p{cfg};
+    p.load_workload(w);
+    Observation o;
+    o.result = p.run(test::kMaxCycles);
+    EXPECT_TRUE(o.result.completed);
+    for (u32 i = 0; i < cfg.n_cores; ++i) {
+        o.halts.push_back(p.core(i).halt_cycle());
+        std::vector<u32> regs;
+        for (u8 r = 0; r < cpu::kNumRegs; ++r)
+            regs.push_back(p.core(i).reg(static_cast<cpu::Reg>(r)));
+        o.regs.push_back(std::move(regs));
+        o.slave_counts.push_back(p.private_mem(i).reads_served());
+        o.slave_counts.push_back(p.private_mem(i).writes_served());
+    }
+    for (const tg::Trace& t : p.traces()) o.traces.push_back(tg::to_text(t));
+    o.slave_counts.push_back(p.shared_mem().reads_served());
+    o.slave_counts.push_back(p.shared_mem().writes_served());
+    o.ic_busy = p.interconnect().busy_cycles();
+    o.ic_contention = p.interconnect().contention_cycles();
+    o.sem_acquisitions = p.semaphores().acquisitions();
+    o.sem_failed_polls = p.semaphores().failed_polls();
+    u64 h = 0xcbf29ce484222325ull;
+    for (u32 a = 0; a < 0x2000; a += 4)
+        h = fnv_step(h, p.peek(platform::kSharedBase + a));
+    o.shared_crc = h;
+    return o;
+}
+
+void expect_identical(const Observation& a, const Observation& b,
+                      const char* what) {
+    EXPECT_EQ(a.result.cycles, b.result.cycles) << what;
+    EXPECT_EQ(a.result.per_core, b.result.per_core) << what;
+    EXPECT_EQ(a.result.total_instructions, b.result.total_instructions) << what;
+    EXPECT_EQ(a.halts, b.halts) << what;
+    EXPECT_EQ(a.regs, b.regs) << what;
+    ASSERT_EQ(a.traces.size(), b.traces.size()) << what;
+    for (std::size_t i = 0; i < a.traces.size(); ++i)
+        EXPECT_EQ(a.traces[i], b.traces[i]) << what << " trace " << i;
+    EXPECT_EQ(a.slave_counts, b.slave_counts) << what;
+    EXPECT_EQ(a.ic_busy, b.ic_busy) << what;
+    EXPECT_EQ(a.ic_contention, b.ic_contention) << what;
+    EXPECT_EQ(a.sem_acquisitions, b.sem_acquisitions) << what;
+    EXPECT_EQ(a.sem_failed_polls, b.sem_failed_polls) << what;
+    EXPECT_EQ(a.shared_crc, b.shared_crc) << what;
+}
+
+// --- CPU reference runs (quickstart / noc_exploration shapes) ---------------
+
+TEST(GatingEquivalence, CpuFlowAllInterconnects) {
+    struct Case {
+        Workload w;
+        u32 cores;
+    };
+    const Case cases[] = {
+        {apps::make_mp_matrix({2, 12}), 2},
+        {apps::make_des({3, 2}), 3},
+        {apps::make_cacheloop({2, 4000}), 2},
+    };
+    for (const Case& c : cases) {
+        for (const IcKind ic :
+             {IcKind::Amba, IcKind::Crossbar, IcKind::Xpipes}) {
+            const auto gated = observe_cpu_run(c.w, cfg_for(c.cores, ic, true));
+            const auto clocked =
+                observe_cpu_run(c.w, cfg_for(c.cores, ic, false));
+            expect_identical(gated, clocked,
+                             (c.w.name + "/" +
+                              std::string(platform::to_string(ic)))
+                                 .c_str());
+        }
+    }
+}
+
+// --- TG replay runs ----------------------------------------------------------
+
+TEST(GatingEquivalence, TgReplayMatchesAcrossSchedules) {
+    const Workload w = apps::make_mp_matrix({2, 12});
+    for (const IcKind ic : {IcKind::Amba, IcKind::Crossbar, IcKind::Xpipes}) {
+        PlatformConfig ref_cfg = cfg_for(2, ic, true);
+        ref_cfg.collect_traces = true;
+        platform::Platform ref{ref_cfg};
+        ref.load_workload(w);
+        ASSERT_TRUE(ref.run(test::kMaxCycles).completed);
+
+        tg::TranslateOptions topt;
+        topt.polls = w.polls;
+        std::vector<tg::TgProgram> programs;
+        for (const tg::Trace& t : ref.traces())
+            programs.push_back(tg::translate(t, topt).program);
+
+        platform::RunResult results[2];
+        std::vector<std::vector<u32>> regs[2];
+        for (int mode = 0; mode < 2; ++mode) {
+            platform::Platform p{cfg_for(2, ic, mode == 0)};
+            p.load_tg_programs(programs, w);
+            results[mode] = p.run(test::kMaxCycles);
+            ASSERT_TRUE(results[mode].completed);
+            for (u32 i = 0; i < 2; ++i) {
+                std::vector<u32> r;
+                for (u8 j = 0; j < tg::kTgNumRegs; ++j)
+                    r.push_back(p.tg_core(i).reg(j));
+                regs[mode].push_back(std::move(r));
+            }
+        }
+        EXPECT_EQ(results[0].cycles, results[1].cycles);
+        EXPECT_EQ(results[0].per_core, results[1].per_core);
+        EXPECT_EQ(results[0].total_instructions, results[1].total_instructions);
+        EXPECT_EQ(regs[0], regs[1]);
+    }
+}
+
+// --- stochastic soak (traffic_soak shape) -----------------------------------
+
+TEST(GatingEquivalence, StochasticSoakMatches) {
+    const Workload ctx = apps::make_cacheloop({2, 1});
+    for (const IcKind ic : {IcKind::Amba, IcKind::Crossbar}) {
+        Cycle cycles[2];
+        std::vector<u64> counters[2];
+        for (int mode = 0; mode < 2; ++mode) {
+            PlatformConfig cfg = cfg_for(2, ic, mode == 0);
+            platform::Platform p{cfg};
+            std::vector<tg::StochasticConfig> sc(2);
+            for (u32 i = 0; i < 2; ++i) {
+                sc[i].seed = 7 + i;
+                sc[i].process = (i == 0) ? tg::ArrivalProcess::Bursty
+                                         : tg::ArrivalProcess::Poisson;
+                sc[i].inter_gap = 400; // idle-heavy: exercises long parks
+                sc[i].total_transactions = 300;
+                sc[i].targets = {{platform::kSharedBase, 0x1000, 3},
+                                 {platform::sem_addr(0), 4, 1}};
+            }
+            p.load_stochastic(sc, ctx);
+            const auto res = p.run(test::kMaxCycles);
+            ASSERT_TRUE(res.completed);
+            cycles[mode] = res.cycles;
+            counters[mode] = {p.shared_mem().reads_served(),
+                              p.shared_mem().writes_served(),
+                              p.semaphores().acquisitions(),
+                              p.semaphores().failed_polls(),
+                              p.interconnect().busy_cycles(),
+                              p.interconnect().contention_cycles()};
+        }
+        EXPECT_EQ(cycles[0], cycles[1]);
+        EXPECT_EQ(counters[0], counters[1]);
+    }
+}
+
+// --- multithreaded TG over one port (tg_multicore shape) --------------------
+
+TEST(GatingEquivalence, TgMultiCoreMatches) {
+    auto image = [](u32 idle, u32 reps) {
+        tg::TgProgram prog;
+        for (u32 i = 0; i < reps; ++i) {
+            tg::TgInstr set;
+            set.op = tg::TgOp::SetRegister;
+            set.a = 1;
+            set.imm = platform::kSharedBase + 0x40 * i;
+            prog.instrs.push_back(set);
+            tg::TgInstr rd;
+            rd.op = tg::TgOp::Read;
+            rd.a = 1;
+            prog.instrs.push_back(rd);
+            tg::TgInstr id;
+            id.op = tg::TgOp::Idle;
+            id.imm = idle;
+            prog.instrs.push_back(id);
+        }
+        tg::TgInstr halt;
+        halt.op = tg::TgOp::Halt;
+        prog.instrs.push_back(halt);
+        return tg::assemble(prog);
+    };
+
+    Cycle halts[2];
+    u64 instrs[2];
+    for (int mode = 0; mode < 2; ++mode) {
+        sim::Kernel k;
+        k.set_gating(mode == 0);
+        ocp::Channel ch, mem_ch;
+        mem::MemorySlave mem{mem_ch, mem::SlaveTiming{2, 1, 1},
+                             platform::kSharedBase, 0x4000, "m"};
+        ic::AhbBus bus;
+        bus.connect_master(ch, -1);
+        bus.connect_slave(mem_ch, platform::kSharedBase, 0x4000, -1);
+        tg::TgMultiConfig mc;
+        mc.policy = tg::SchedulePolicy::SleepWake;
+        mc.yield_threshold = 8;
+        tg::TgMultiCore core{ch, mc};
+        core.add_thread(image(300, 5));
+        core.add_thread(image(77, 9));
+        k.add(core, sim::kStageMaster);
+        k.add(mem, sim::kStageSlave);
+        k.add(bus, sim::kStageInterconnect);
+        ASSERT_TRUE(k.run_until([&] { return core.done(); }, 1'000'000));
+        halts[mode] = core.halt_cycle();
+        instrs[mode] = core.stats().instructions;
+    }
+    EXPECT_EQ(halts[0], halts[1]);
+    EXPECT_EQ(instrs[0], instrs[1]);
+}
+
+// --- kernel-level behaviours -------------------------------------------------
+
+TEST(GatingKernel, ParksIdleComponentsAndReportsCount) {
+    sim::Kernel k;
+    ocp::Channel ch;
+    mem::MemorySlave mem{ch, mem::SlaveTiming{1, 1, 1}, 0x1000, 0x100, "m"};
+    k.add(mem, sim::kStageSlave);
+    EXPECT_EQ(k.parked_count(), 0u);
+    k.run(10);
+    EXPECT_EQ(k.parked_count(), 1u); // idle slave is clock-gated
+    EXPECT_EQ(k.now(), 10u);
+    k.tick(); // tick() settles and re-clocks everything
+    EXPECT_EQ(k.parked_count(), 0u);
+}
+
+TEST(GatingKernel, NotifyRearmsParkedComponent) {
+    sim::Kernel k;
+    ocp::Channel ch;
+    mem::MemorySlave mem{ch, mem::SlaveTiming{1, 1, 1}, 0x1000, 0x100, "m"};
+    k.add(mem, sim::kStageSlave);
+    k.run(5);
+    ASSERT_EQ(k.parked_count(), 1u);
+    k.notify(mem);
+    EXPECT_EQ(k.parked_count(), 0u);
+    k.notify(mem); // idempotent, unknown component ignored too
+    sim::Kernel other;
+    other.notify(mem);
+}
+
+TEST(GatingKernel, CheckIntervalDoesNotChangeCompletion) {
+    const apps::Workload w = apps::make_mp_matrix({2, 8});
+    Cycle cycles[3];
+    int i = 0;
+    for (const Cycle interval : {Cycle{1}, Cycle{64}, Cycle{4096}}) {
+        PlatformConfig cfg = cfg_for(2, IcKind::Amba, true);
+        cfg.done_check_interval = interval;
+        platform::Platform p{cfg};
+        p.load_workload(w);
+        const auto res = p.run(test::kMaxCycles);
+        ASSERT_TRUE(res.completed);
+        cycles[i++] = res.cycles;
+    }
+    EXPECT_EQ(cycles[0], cycles[1]);
+    EXPECT_EQ(cycles[0], cycles[2]);
+}
+
+} // namespace
+} // namespace tgsim

@@ -213,10 +213,18 @@ TEST(IdleSkip, SkippingIsBitExact) {
     const Workload w = apps::make_des({3, 2});
     for (const IcKind ic :
          {IcKind::Amba, IcKind::Crossbar, IcKind::Xpipes}) {
+        // Legacy-schedule property (gated-vs-clocked equivalence lives in
+        // gating_test.cpp): the global quiescence skip must be invisible.
+        // Skips never cross a done-poll boundary, so a coarse poll interval
+        // is needed for the skip path to engage at all.
         PlatformConfig with = make_cfg(3, ic);
+        with.kernel_gating = false;
         with.max_idle_skip = 1u << 20;
+        with.done_check_interval = 4096;
         PlatformConfig without = make_cfg(3, ic);
+        without.kernel_gating = false;
         without.max_idle_skip = 0;
+        without.done_check_interval = 4096;
 
         const auto fa = run_flow(w, with);
         const auto fb = run_flow(w, without);

@@ -121,6 +121,9 @@ public:
             ch_.m_burst = 1;
         }
         ch_.m_resp_accept = active_ && ocp::is_read(cur_.op.cmd);
+        // Conservative activity bump: this scripted master redrives the
+        // request group every cycle, so gated peers stay armed.
+        ch_.touch_m();
     }
 
     void update() override {

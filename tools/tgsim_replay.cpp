@@ -51,7 +51,11 @@ int main(int argc, char** argv) {
     platform::PlatformConfig cfg;
     cfg.n_cores = static_cast<u32>(programs.size());
     cfg.ic = *ic;
-    if (args.has("no-skip")) cfg.max_idle_skip = 0;
+    cfg.done_check_interval = 1024;
+    if (args.has("no-skip")) { // fully clocked kernel (paper-faithful costs)
+        cfg.kernel_gating = false;
+        cfg.max_idle_skip = 0;
+    }
 
     platform::Platform p{cfg};
     p.load_tg_programs(programs, env);

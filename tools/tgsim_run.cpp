@@ -34,7 +34,11 @@ int main(int argc, char** argv) {
     cfg.n_cores = static_cast<u32>(workload->cores.size());
     cfg.ic = *ic;
     cfg.collect_traces = args.has("trace-dir");
-    if (args.has("no-skip")) cfg.max_idle_skip = 0;
+    cfg.done_check_interval = 1024;
+    if (args.has("no-skip")) { // fully clocked kernel (paper-faithful costs)
+        cfg.kernel_gating = false;
+        cfg.max_idle_skip = 0;
+    }
 
     platform::Platform p{cfg};
     p.load_workload(*workload);
