@@ -4,6 +4,8 @@
 // (translation, assembly, text round-trip).
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+
 #include "apps/apps.hpp"
 #include "bench_util.hpp"
 #include "platform/platform.hpp"
@@ -90,6 +92,147 @@ BENCHMARK(BM_InterconnectCycle<platform::IcKind::Amba>)->Name("BM_PlatformCycle_
 BENCHMARK(BM_InterconnectCycle<platform::IcKind::Crossbar>)->Name("BM_PlatformCycle_Crossbar4P");
 BENCHMARK(BM_InterconnectCycle<platform::IcKind::Xpipes>)->Name("BM_PlatformCycle_Xpipes4P");
 
+// --- channel scan: AoS baseline vs structure-of-arrays ChannelStore ---
+
+/// The pre-SoA wire-bundle layout (one struct per channel), kept here as the
+/// benchmark baseline. Matches the old ocp::Channel field-for-field.
+struct AosChannel {
+    ocp::Cmd m_cmd = ocp::Cmd::Idle;
+    u32 m_addr = 0;
+    u32 m_data = 0;
+    u16 m_burst = 1;
+    bool m_resp_accept = false;
+    bool s_cmd_accept = false;
+    ocp::Resp s_resp = ocp::Resp::None;
+    u32 s_data = 0;
+    bool s_resp_last = false;
+    u32 m_gen = 0;
+    u32 s_gen = 0;
+};
+
+/// Pre-SoA wiring, reproduced faithfully: the platform owned a dense
+/// std::vector<Channel>, but the bus scanned it through a per-master pointer
+/// vector and the gating kernel watched a list of scattered const u32*
+/// counters. Masters occupy the first n slots of the backing array, exactly
+/// like Platform::build_fabric() allocated them.
+struct AosRig {
+    std::vector<AosChannel> backing;
+    std::vector<const AosChannel*> masters; ///< old AhbBus::masters_
+    std::vector<const u32*> watch;          ///< old Kernel Slot::watch
+
+    explicit AosRig(u32 n) : backing(2u * n + 2u) {
+        for (u32 i = 0; i < n; ++i) {
+            masters.push_back(&backing[i]);
+            watch.push_back(&backing[i].m_gen);
+        }
+    }
+};
+
+/// One bus-style idle pass over n masters: the arbitration probe (is any
+/// command asserted?) fused with the gating kernel's activity sweep (sum of
+/// the master-side gen counters).
+u64 scan_aos(const AosRig& rig) {
+    u64 acc = 0;
+    for (const AosChannel* c : rig.masters)
+        acc += static_cast<u64>(c->m_cmd != ocp::Cmd::Idle) + c->m_gen;
+    return acc;
+}
+
+u64 scan_soa(const ocp::ChannelStore& store, u32 n) {
+    u64 acc = 0;
+    const ocp::Cmd* cmd = store.m_cmd.data();
+    const u32* gen = store.m_gen.data();
+    for (u32 i = 0; i < n; ++i)
+        acc += static_cast<u64>(cmd[i] != ocp::Cmd::Idle) + gen[i];
+    return acc;
+}
+
+/// The kernel's parked-component activity check in both worlds: scattered
+/// pointer list (old) vs one contiguous WatchRange sweep (new).
+u64 watch_aos(const AosRig& rig) {
+    u64 acc = 0;
+    for (const u32* g : rig.watch) acc += *g;
+    return acc;
+}
+
+u64 watch_soa(const ocp::ChannelStore& store, u32 n) {
+    u64 acc = 0;
+    const u32* gen = store.m_gen.data();
+    for (u32 i = 0; i < n; ++i) acc += gen[i];
+    return acc;
+}
+
+void seed_channels(AosRig& rig, ocp::ChannelStore& store, u32 n) {
+    for (u32 i = 0; i < n; ++i) {
+        const ocp::ChannelRef r = store.channel(i);
+        if (i % 7 == 0) {
+            rig.backing[i].m_cmd = ocp::Cmd::Read;
+            r.m_cmd() = ocp::Cmd::Read;
+        }
+        rig.backing[i].m_gen = 3 * i;
+        store.m_gen[i] = 3 * i;
+    }
+}
+
+void BM_ChannelScanAos(benchmark::State& state) {
+    const auto n = static_cast<u32>(state.range(0));
+    AosRig rig{n};
+    ocp::ChannelStore store;
+    for (u32 i = 0; i < 2u * n + 2u; ++i) store.allocate();
+    seed_channels(rig, store, n);
+    for (auto _ : state) benchmark::DoNotOptimize(scan_aos(rig));
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                            static_cast<i64>(n));
+}
+BENCHMARK(BM_ChannelScanAos)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ChannelScanSoa(benchmark::State& state) {
+    const auto n = static_cast<u32>(state.range(0));
+    AosRig rig{n};
+    ocp::ChannelStore store;
+    for (u32 i = 0; i < 2u * n + 2u; ++i) store.allocate();
+    seed_channels(rig, store, n);
+    for (auto _ : state) benchmark::DoNotOptimize(scan_soa(store, n));
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                            static_cast<i64>(n));
+}
+BENCHMARK(BM_ChannelScanSoa)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+/// Self-timed variant of the two scans, written as BENCH_channel_scan.json
+/// so CI tracks the SoA-vs-AoS ratio alongside the other bench artifacts.
+void write_channel_scan_report() {
+    bench::JsonReport report{"channel_scan"};
+    for (const u32 n : {4u, 16u, 64u, 256u}) {
+        AosRig rig{n};
+        ocp::ChannelStore store;
+        for (u32 i = 0; i < 2u * n + 2u; ++i) store.allocate();
+        seed_channels(rig, store, n);
+        const u64 reps = (1u << 25) / n;
+        const auto time_ns = [&](auto&& scan) {
+            double best = 1e300;
+            for (int round = 0; round < 5; ++round) {
+                sim::WallTimer t;
+                for (u64 r = 0; r < reps; ++r)
+                    benchmark::DoNotOptimize(scan());
+                best = std::min(best, t.seconds());
+            }
+            return best * 1e9 / static_cast<double>(reps);
+        };
+        const double aos_ns = time_ns([&] { return scan_aos(rig); });
+        const double soa_ns = time_ns([&] { return scan_soa(store, n); });
+        const double aos_watch_ns = time_ns([&] { return watch_aos(rig); });
+        const double soa_watch_ns = time_ns([&] { return watch_soa(store, n); });
+        report.add_row("masters_" + std::to_string(n),
+                       {{"masters", static_cast<double>(n)},
+                        {"aos_ns_per_scan", aos_ns},
+                        {"soa_ns_per_scan", soa_ns},
+                        {"soa_speedup", aos_ns / soa_ns},
+                        {"aos_ns_per_watch_sweep", aos_watch_ns},
+                        {"soa_ns_per_watch_sweep", soa_watch_ns},
+                        {"watch_speedup", aos_watch_ns / soa_watch_ns}});
+    }
+}
+
 // --- TG tool flow ---
 
 tg::Trace sample_trace() {
@@ -150,4 +293,21 @@ BENCHMARK(BM_TgpTextRoundTrip);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    // The self-timed channel-scan report costs a second or two; skip it when
+    // the caller is filtering/listing benchmarks (quick local iterations) so
+    // it neither delays the run nor clobbers an existing JSON.
+    bool filtered = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg{argv[i]};
+        if (arg.starts_with("--benchmark_filter") ||
+            arg.starts_with("--benchmark_list_tests") || arg == "--help")
+            filtered = true;
+    }
+    if (!filtered) write_channel_scan_report();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

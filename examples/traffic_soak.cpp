@@ -17,24 +17,12 @@ using namespace tgsim;
 int main() {
     constexpr u32 kMasters = 4;
     sim::Kernel kernel;
-    std::vector<std::unique_ptr<ocp::Channel>> chans;
-    auto fresh = [&]() -> ocp::Channel& {
-        chans.push_back(std::make_unique<ocp::Channel>());
-        return *chans.back();
-    };
+    // All wire state in one SoA store; masters allocated first so the bus
+    // scans (and the kernel watches) one contiguous index run.
+    ocp::ChannelStore wires;
+    wires.reserve(kMasters + 2);
 
     ic::AhbBus bus{ic::Arbitration::RoundRobin};
-
-    // Slave side: one shared-memory TG slave, one dummy responder.
-    auto& shared_ch = fresh();
-    tg::SharedMemTgSlave shared{shared_ch, mem::SlaveTiming{2, 1, 1},
-                                0x20000000, 0x10000, "tg_shared"};
-    bus.connect_slave(shared_ch, 0x20000000, 0x10000, -1);
-
-    auto& dummy_ch = fresh();
-    tg::DummySlaveTg dummy{dummy_ch, mem::SlaveTiming{1, 1, 1}, 0x40000000,
-                           0x10000};
-    bus.connect_slave(dummy_ch, 0x40000000, 0x10000, -1);
 
     // Master side: four stochastic generators with different personalities.
     std::vector<std::unique_ptr<tg::StochasticTg>> masters;
@@ -56,10 +44,21 @@ int main() {
             {0x20000000 + i * 0x2000, 0x2000, 3}, // own shared slice
             {0x40000000, 0x1000, 1},              // dummy device
         };
-        auto& ch = fresh();
+        const ocp::ChannelRef ch = wires.allocate();
         masters.push_back(std::make_unique<tg::StochasticTg>(ch, cfg));
         bus.connect_master(ch, -1);
     }
+
+    // Slave side: one shared-memory TG slave, one dummy responder.
+    const ocp::ChannelRef shared_ch = wires.allocate();
+    tg::SharedMemTgSlave shared{shared_ch, mem::SlaveTiming{2, 1, 1},
+                                0x20000000, 0x10000, "tg_shared"};
+    bus.connect_slave(shared_ch, 0x20000000, 0x10000, -1);
+
+    const ocp::ChannelRef dummy_ch = wires.allocate();
+    tg::DummySlaveTg dummy{dummy_ch, mem::SlaveTiming{1, 1, 1}, 0x40000000,
+                           0x10000};
+    bus.connect_slave(dummy_ch, 0x40000000, 0x10000, -1);
 
     for (auto& m : masters) kernel.add(*m, sim::kStageMaster);
     kernel.add(shared, sim::kStageSlave);

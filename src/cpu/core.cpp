@@ -8,7 +8,7 @@ namespace {
 constexpr u32 kPoison = 0xDEADBEEFu;
 } // namespace
 
-CpuCore::CpuCore(ocp::Channel& channel, CpuConfig cfg)
+CpuCore::CpuCore(ocp::ChannelRef channel, CpuConfig cfg)
     : ch_(channel), cfg_(std::move(cfg)), icache_(cfg_.icache), dcache_(cfg_.dcache) {}
 
 void CpuCore::reset(u32 entry_addr) {
@@ -50,18 +50,18 @@ void CpuCore::eval() {
             ch_.clear_request();
             break;
         case DriveState::Request:
-            ch_.m_cmd = req_.cmd;
-            ch_.m_addr = req_.addr;
-            ch_.m_data = req_.data;
-            ch_.m_burst = req_.burst;
-            ch_.m_resp_accept = ocp::is_read(req_.cmd);
+            ch_.m_cmd() = req_.cmd;
+            ch_.m_addr() = req_.addr;
+            ch_.m_data() = req_.data;
+            ch_.m_burst() = req_.burst;
+            ch_.m_resp_accept() = ocp::is_read(req_.cmd);
             break;
         case DriveState::RespWait:
-            ch_.m_cmd = ocp::Cmd::Idle;
-            ch_.m_addr = 0;
-            ch_.m_data = 0;
-            ch_.m_burst = 1;
-            ch_.m_resp_accept = true;
+            ch_.m_cmd() = ocp::Cmd::Idle;
+            ch_.m_addr() = 0;
+            ch_.m_data() = 0;
+            ch_.m_burst() = 1;
+            ch_.m_resp_accept() = true;
             break;
     }
     driven_ = desired;
@@ -259,7 +259,7 @@ void CpuCore::execute(const DecodedInstr& d) {
 
 void CpuCore::mem_progress() {
     // Command accept (both read command consume and posted-write completion).
-    if (req_.active && !req_.accepted && ch_.s_cmd_accept) {
+    if (req_.active && !req_.accepted && ch_.s_cmd_accept()) {
         req_.accepted = true;
         if (memop_ == MemOp::Store) {
             req_ = Request{};
@@ -272,13 +272,13 @@ void CpuCore::mem_progress() {
     if (!req_.active || !ocp::is_read(req_.cmd)) return;
 
     // Response beats.
-    if (ch_.s_resp != ocp::Resp::None) {
+    if (ch_.s_resp() != ocp::Resp::None) {
         const u32 beat =
-            (ch_.s_resp == ocp::Resp::Err) ? kPoison : ch_.s_data;
-        if (ch_.s_resp == ocp::Resp::Err) ++stats_.bus_errors;
+            (ch_.s_resp() == ocp::Resp::Err) ? kPoison : ch_.s_data();
+        if (ch_.s_resp() == ocp::Resp::Err) ++stats_.bus_errors;
         req_.buf[req_.beats] = beat;
         ++req_.beats;
-        const bool last = ch_.s_resp_last || req_.beats == req_.burst;
+        const bool last = ch_.s_resp_last() || req_.beats == req_.burst;
         if (!last) return;
 
         switch (memop_) {

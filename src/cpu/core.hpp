@@ -56,7 +56,7 @@ struct CpuStats {
 
 class CpuCore final : public sim::Clocked {
 public:
-    CpuCore(ocp::Channel& channel, CpuConfig cfg);
+    CpuCore(ocp::ChannelRef channel, CpuConfig cfg);
 
     /// Starts execution at the given byte address (must be word aligned).
     void reset(u32 entry_addr);
@@ -98,7 +98,7 @@ private:
     [[nodiscard]] bool cacheable(u32 addr) const noexcept;
     void advance(u32 extra_stall) noexcept;
 
-    ocp::Channel& ch_;
+    ocp::ChannelRef ch_;
     CpuConfig cfg_;
     DirectCache icache_;
     DirectCache dcache_;

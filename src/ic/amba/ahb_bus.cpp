@@ -2,43 +2,47 @@
 
 namespace tgsim::ic {
 
-std::size_t AhbBus::connect_master(ocp::Channel& ch, int /*node*/) {
-    masters_.push_back(&ch);
+std::size_t AhbBus::connect_master(ocp::ChannelRef ch, int /*node*/) {
     stats_.grants.push_back(0);
     stats_.wait_cycles.push_back(0);
-    return masters_.size() - 1;
+    return track_master(ch);
 }
 
-std::size_t AhbBus::connect_slave(ocp::Channel& ch, u32 base, u32 size,
+std::size_t AhbBus::connect_slave(ocp::ChannelRef ch, u32 base, u32 size,
                                   int /*node*/) {
     const std::size_t idx = map_.add_range(base, size);
-    slaves_.push_back(&ch);
+    slaves_.push_back(ch);
     stats_.slave_transactions.push_back(0);
     return idx;
 }
 
 int AhbBus::arbitrate() const noexcept {
-    const int n = static_cast<int>(masters_.size());
+    const auto& masters = master_ports();
+    const int n = static_cast<int>(masters.size());
     if (n == 0) return -1;
     if (policy_ == Arbitration::FixedPriority) {
         for (int i = 0; i < n; ++i)
-            if (masters_[i]->m_cmd != ocp::Cmd::Idle) return i;
+            if (masters[static_cast<std::size_t>(i)].m_cmd() != ocp::Cmd::Idle)
+                return i;
         return -1;
     }
     for (int k = 1; k <= n; ++k) {
         const int i = (rr_last_ + k) % n;
-        if (masters_[i]->m_cmd != ocp::Cmd::Idle) return i;
+        if (masters[static_cast<std::size_t>(i)].m_cmd() != ocp::Cmd::Idle)
+            return i;
     }
     return -1;
 }
 
 void AhbBus::eval() {
+    const auto& masters = master_ports();
     // Default-drive every wire this bus owns; the bridge re-drives the
-    // active ones below. Skipped entirely while the bus is quiescent and the
-    // wires are known clean (they persist).
+    // active ones below. With the SoA store these passes are straight scans
+    // over the contiguous field arrays. Skipped entirely while the bus is
+    // quiescent and the wires are known clean (they persist).
     if (bridge_.active() || wires_dirty_) {
-        for (ocp::Channel* m : masters_) m->tidy_response();
-        for (ocp::Channel* s : slaves_) s->tidy_request();
+        for (const ocp::ChannelRef& m : masters) m.tidy_response();
+        for (const ocp::ChannelRef& s : slaves_) s.tidy_request();
         wires_dirty_ = false;
     }
 
@@ -46,8 +50,8 @@ void AhbBus::eval() {
         ++stats_.busy_cycles;
         wires_dirty_ = true;
         // Account contention: masters requesting while not owning the bus.
-        for (std::size_t i = 0; i < masters_.size(); ++i) {
-            if (masters_[i]->m_cmd != ocp::Cmd::Idle &&
+        for (std::size_t i = 0; i < masters.size(); ++i) {
+            if (masters[i].m_cmd() != ocp::Cmd::Idle &&
                 static_cast<int>(i) != owner_)
                 stats_.wait_cycles[i] += 1;
         }
@@ -64,16 +68,16 @@ void AhbBus::eval() {
         return;
     }
     // Losing candidates of this grant cycle start waiting now.
-    for (std::size_t i = 0; i < masters_.size(); ++i) {
-        if (masters_[i]->m_cmd != ocp::Cmd::Idle &&
+    for (std::size_t i = 0; i < masters.size(); ++i) {
+        if (masters[i].m_cmd() != ocp::Cmd::Idle &&
             i != static_cast<std::size_t>(winner))
             stats_.wait_cycles[i] += 1;
     }
     wires_dirty_ = true;
 
-    ocp::Channel& m = *masters_[winner];
-    const auto slave_idx = map_.decode(m.m_addr);
-    ocp::Channel* s = nullptr;
+    const ocp::ChannelRef m = masters[static_cast<std::size_t>(winner)];
+    const auto slave_idx = map_.decode(m.m_addr());
+    ocp::ChannelRef s;
     if (slave_idx) {
         s = slaves_[*slave_idx];
         stats_.slave_transactions[*slave_idx] += 1;

@@ -41,8 +41,8 @@ public:
     explicit AhbBus(Arbitration policy = Arbitration::RoundRobin)
         : policy_(policy) {}
 
-    std::size_t connect_master(ocp::Channel& ch, int node = -1) override;
-    std::size_t connect_slave(ocp::Channel& ch, u32 base, u32 size,
+    std::size_t connect_master(ocp::ChannelRef ch, int node = -1) override;
+    std::size_t connect_slave(ocp::ChannelRef ch, u32 base, u32 size,
                               int node = -1) override;
 
     void eval() override;
@@ -51,16 +51,14 @@ public:
         return (!bridge_.active() && !wires_dirty_) ? sim::kQuietForever : 0;
     }
     void advance(Cycle cycles) override { stats_.idle_cycles += cycles; }
-    /// A quiescent bus reacts only to a master asserting a command; slave
-    /// wires never move while no transaction is in flight.
-    void watch_inputs(std::vector<const u32*>& out) const override {
-        for (const ocp::Channel* m : masters_) out.push_back(&m->m_gen);
-    }
+    // Activity subscription: Interconnect::watch_inputs (all master gens).
 
     [[nodiscard]] const AhbStats& stats() const noexcept { return stats_; }
     [[nodiscard]] u64 busy_cycles() const override { return stats_.busy_cycles; }
     [[nodiscard]] u64 contention_cycles() const override;
-    [[nodiscard]] std::size_t master_count() const noexcept { return masters_.size(); }
+    [[nodiscard]] std::size_t master_count() const noexcept {
+        return master_ports().size();
+    }
     [[nodiscard]] std::size_t slave_count() const noexcept { return slaves_.size(); }
 
 private:
@@ -68,8 +66,7 @@ private:
     [[nodiscard]] int arbitrate() const noexcept;
 
     Arbitration policy_;
-    std::vector<ocp::Channel*> masters_;
-    std::vector<ocp::Channel*> slaves_;
+    std::vector<ocp::ChannelRef> slaves_;
     AddressMap map_;
 
     Bridge bridge_;

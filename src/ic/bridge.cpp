@@ -8,13 +8,13 @@ namespace {
 constexpr u32 kErrData = 0xDEADBEEFu;
 } // namespace
 
-void Bridge::start(ocp::Channel& master, ocp::Channel* slave) {
-    m_ = &master;
+void Bridge::start(ocp::ChannelRef master, ocp::ChannelRef slave) {
+    m_ = master;
     s_ = slave;
-    cmd_ = master.m_cmd;
-    addr_ = master.m_addr;
+    cmd_ = master.m_cmd();
+    addr_ = master.m_addr();
     burst_ = ocp::is_burst(cmd_)
-                 ? std::max<u16>(1, std::min<u16>(master.m_burst, ocp::kMaxBurstLen))
+                 ? std::max<u16>(1, std::min<u16>(master.m_burst(), ocp::kMaxBurstLen))
                  : u16{1};
     read_ = ocp::is_read(cmd_);
     phase_ = Phase::Request;
@@ -25,23 +25,23 @@ void Bridge::start(ocp::Channel& master, ocp::Channel* slave) {
 }
 
 void Bridge::drive_request_beat() {
-    if (s_ == nullptr) return;
-    s_->m_cmd = cmd_;
-    s_->m_addr = addr_;
-    s_->m_data = m_->m_data; // live: master holds the current beat until accept
-    s_->m_burst = burst_;
-    s_->touch_m();
+    if (!s_) return;
+    s_.m_cmd() = cmd_;
+    s_.m_addr() = addr_;
+    s_.m_data() = m_.m_data(); // live: master holds the current beat until accept
+    s_.m_burst() = burst_;
+    s_.touch_m();
 }
 
 void Bridge::eval_request() {
     // A beat driven last cycle is accepted when the slave raised
     // s_cmd_accept this cycle (slaves eval before interconnects). The void
     // target accepts every beat one cycle after it is driven.
-    const bool accepted = pending_ && (s_ == nullptr || s_->s_cmd_accept);
+    const bool accepted = pending_ && (!s_ || s_.s_cmd_accept());
     if (accepted) {
         pending_ = false;
-        m_->s_cmd_accept = true;
-        m_->touch_s();
+        m_.s_cmd_accept() = true;
+        m_.touch_s();
         ++beats_accepted_;
         if (read_) {
             phase_ = Phase::Response;
@@ -60,15 +60,15 @@ void Bridge::eval_request() {
 }
 
 void Bridge::eval_response() {
-    const bool master_ready = m_->m_resp_accept;
-    if (s_ != nullptr) {
-        if (s_->s_resp != ocp::Resp::None && master_ready) {
-            m_->s_resp = s_->s_resp;
-            m_->s_data = s_->s_data;
-            m_->s_resp_last = (beats_responded_ + 1 == burst_);
-            m_->touch_s();
-            s_->m_resp_accept = true;
-            s_->touch_m();
+    const bool master_ready = m_.m_resp_accept();
+    if (s_) {
+        if (s_.s_resp() != ocp::Resp::None && master_ready) {
+            m_.s_resp() = s_.s_resp();
+            m_.s_data() = s_.s_data();
+            m_.s_resp_last() = (beats_responded_ + 1 == burst_);
+            m_.touch_s();
+            s_.m_resp_accept() = true;
+            s_.touch_m();
             ++beats_responded_;
             if (beats_responded_ == burst_) active_ = false;
         }
@@ -76,10 +76,10 @@ void Bridge::eval_response() {
     }
     // Decode-error target: synthesize one ERR beat per cycle.
     if (master_ready) {
-        m_->s_resp = ocp::Resp::Err;
-        m_->s_data = kErrData;
-        m_->s_resp_last = (beats_responded_ + 1 == burst_);
-        m_->touch_s();
+        m_.s_resp() = ocp::Resp::Err;
+        m_.s_data() = kErrData;
+        m_.s_resp_last() = (beats_responded_ + 1 == burst_);
+        m_.touch_s();
         ++beats_responded_;
         if (beats_responded_ == burst_) active_ = false;
     }

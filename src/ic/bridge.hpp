@@ -14,9 +14,9 @@
 //     per two cycles (the master supplies the next beat only after seeing
 //     the previous accept).
 //
-// A bridge started with a null slave channel models an address-decode
-// failure: it synthesizes accepts and ERR response beats so the master is
-// never wedged.
+// A bridge started with a null slave ref models an address-decode failure:
+// it synthesizes accepts and ERR response beats so the master is never
+// wedged.
 #pragma once
 
 #include "ocp/channel.hpp"
@@ -27,7 +27,7 @@ class Bridge {
 public:
     /// Begins forwarding the transaction currently asserted on `master`.
     /// The command wires must be non-idle. `slave` may be null (decode error).
-    void start(ocp::Channel& master, ocp::Channel* slave);
+    void start(ocp::ChannelRef master, ocp::ChannelRef slave);
 
     [[nodiscard]] bool active() const noexcept { return active_; }
 
@@ -35,8 +35,10 @@ public:
     /// Returns true when the transaction completed during this call.
     bool eval_cycle();
 
-    /// The master channel being served (null when inactive).
-    [[nodiscard]] const ocp::Channel* master() const noexcept { return m_; }
+    /// The master channel being served (null ref when inactive).
+    [[nodiscard]] ocp::ChannelRef master() const noexcept {
+        return active_ ? m_ : ocp::ChannelRef{};
+    }
 
 private:
     enum class Phase : u8 { Request, Response };
@@ -45,8 +47,8 @@ private:
     void eval_request();
     void eval_response();
 
-    ocp::Channel* m_ = nullptr;
-    ocp::Channel* s_ = nullptr;
+    ocp::ChannelRef m_;
+    ocp::ChannelRef s_;
     ocp::Cmd cmd_ = ocp::Cmd::Idle;
     u32 addr_ = 0;
     u16 burst_ = 1;

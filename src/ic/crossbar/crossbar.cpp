@@ -2,33 +2,33 @@
 
 namespace tgsim::ic {
 
-std::size_t Crossbar::connect_master(ocp::Channel& ch, int /*node*/) {
-    masters_.push_back(&ch);
+std::size_t Crossbar::connect_master(ocp::ChannelRef ch, int /*node*/) {
     master_busy_.push_back(false);
     stats_.grants.push_back(0);
     stats_.wait_cycles.push_back(0);
-    return masters_.size() - 1;
+    return track_master(ch);
 }
 
-std::size_t Crossbar::connect_slave(ocp::Channel& ch, u32 base, u32 size,
+std::size_t Crossbar::connect_slave(ocp::ChannelRef ch, u32 base, u32 size,
                                     int /*node*/) {
     const std::size_t idx = map_.add_range(base, size);
     slaves_.push_back(SlavePort{});
-    slaves_.back().ch = &ch;
+    slaves_.back().ch = ch;
     stats_.slave_transactions.push_back(0);
     return idx;
 }
 
 void Crossbar::eval() {
-    for (ocp::Channel* m : masters_) m->tidy_response();
-    for (SlavePort& sp : slaves_) sp.ch->tidy_request();
+    const auto& masters = master_ports();
+    for (const ocp::ChannelRef& m : masters) m.tidy_response();
+    for (SlavePort& sp : slaves_) sp.ch.tidy_request();
 
     bool any_active = false;
 
     // Masters whose transaction completes during this eval cannot be granted
     // again until next cycle: they are still driving the stale command wires
     // and will only observe the completion in their update phase.
-    std::vector<bool> cooldown(masters_.size(), false);
+    std::vector<bool> cooldown(masters.size(), false);
 
     // Advance in-flight transactions.
     for (SlavePort& sp : slaves_) {
@@ -51,21 +51,21 @@ void Crossbar::eval() {
 
     // Arbitration: per slave, round-robin among masters whose fresh command
     // decodes to that slave and that are not already being served.
-    const int n = static_cast<int>(masters_.size());
+    const int n = static_cast<int>(masters.size());
     std::vector<std::vector<int>> candidates(slaves_.size());
     for (int i = 0; i < n; ++i) {
         const auto ui = static_cast<std::size_t>(i);
-        ocp::Channel& m = *masters_[ui];
-        if (m.m_cmd == ocp::Cmd::Idle || master_busy_[ui] || cooldown[ui])
+        const ocp::ChannelRef m = masters[ui];
+        if (m.m_cmd() == ocp::Cmd::Idle || master_busy_[ui] || cooldown[ui])
             continue;
-        const auto slave_idx = map_.decode(m.m_addr);
+        const auto slave_idx = map_.decode(m.m_addr());
         if (!slave_idx) {
             if (!err_bridge_.active()) {
                 ++stats_.decode_errors;
                 stats_.grants[ui] += 1;
                 master_busy_[ui] = true;
                 err_owner_ = i;
-                err_bridge_.start(m, nullptr);
+                err_bridge_.start(m, ocp::ChannelRef{});
                 err_bridge_.eval_cycle();
                 any_active = true;
             } else {
@@ -104,7 +104,7 @@ void Crossbar::eval() {
         master_busy_[uw] = true;
         stats_.grants[uw] += 1;
         stats_.slave_transactions[sidx] += 1;
-        sp.bridge.start(*masters_[uw], sp.ch);
+        sp.bridge.start(masters[uw], sp.ch);
         sp.bridge.eval_cycle();
         any_active = true;
     }

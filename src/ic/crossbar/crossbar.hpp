@@ -27,8 +27,8 @@ class Crossbar final : public Interconnect {
 public:
     Crossbar() = default;
 
-    std::size_t connect_master(ocp::Channel& ch, int node = -1) override;
-    std::size_t connect_slave(ocp::Channel& ch, u32 base, u32 size,
+    std::size_t connect_master(ocp::ChannelRef ch, int node = -1) override;
+    std::size_t connect_slave(ocp::ChannelRef ch, u32 base, u32 size,
                               int node = -1) override;
 
     void eval() override;
@@ -39,10 +39,7 @@ public:
             if (sp.bridge.active()) return 0;
         return sim::kQuietForever;
     }
-    /// Quiescent crossbar: only a master asserting a command re-arms it.
-    void watch_inputs(std::vector<const u32*>& out) const override {
-        for (const ocp::Channel* m : masters_) out.push_back(&m->m_gen);
-    }
+    // Activity subscription: Interconnect::watch_inputs (all master gens).
 
     [[nodiscard]] const CrossbarStats& stats() const noexcept { return stats_; }
     [[nodiscard]] u64 busy_cycles() const override { return stats_.busy_cycles; }
@@ -50,13 +47,12 @@ public:
 
 private:
     struct SlavePort {
-        ocp::Channel* ch = nullptr;
+        ocp::ChannelRef ch;
         Bridge bridge;
         int owner = -1; ///< master index currently served
         int rr_last = -1;
     };
 
-    std::vector<ocp::Channel*> masters_;
     std::vector<bool> master_busy_; ///< master has a transaction in flight
     std::vector<SlavePort> slaves_;
     /// Decode-error transactions are flushed by a dedicated bridge.

@@ -24,22 +24,22 @@ XpipesNetwork::XpipesNetwork(XpipesConfig cfg) : cfg_(cfg) {
     slave_at_node_.assign(node_count(), -1);
 }
 
-std::size_t XpipesNetwork::connect_master(ocp::Channel& ch, int node) {
+std::size_t XpipesNetwork::connect_master(ocp::ChannelRef ch, int node) {
     if (node < 0 || static_cast<u32>(node) >= node_count())
         throw std::invalid_argument{"XpipesNetwork: master node out of range"};
     if (master_at_node_[static_cast<std::size_t>(node)] >= 0)
         throw std::invalid_argument{"XpipesNetwork: node already has a master NI"};
     MasterNi ni;
-    ni.ch = &ch;
+    ni.ch = ch;
     ni.node = static_cast<u16>(node);
     masters_.push_back(std::move(ni));
     master_at_node_[static_cast<std::size_t>(node)] =
         static_cast<int>(masters_.size() - 1);
     stats_.master_wait_cycles.push_back(0);
-    return masters_.size() - 1;
+    return track_master(ch);
 }
 
-std::size_t XpipesNetwork::connect_slave(ocp::Channel& ch, u32 base, u32 size,
+std::size_t XpipesNetwork::connect_slave(ocp::ChannelRef ch, u32 base, u32 size,
                                          int node) {
     if (node < 0 || static_cast<u32>(node) >= node_count())
         throw std::invalid_argument{"XpipesNetwork: slave node out of range"};
@@ -47,7 +47,7 @@ std::size_t XpipesNetwork::connect_slave(ocp::Channel& ch, u32 base, u32 size,
         throw std::invalid_argument{"XpipesNetwork: node already has a slave NI"};
     const std::size_t idx = map_.add_range(base, size);
     SlaveNi ni;
-    ni.ch = &ch;
+    ni.ch = ch;
     ni.node = static_cast<u16>(node);
     slaves_.push_back(std::move(ni));
     slave_at_node_[static_cast<std::size_t>(node)] =
@@ -81,29 +81,29 @@ std::optional<std::size_t> XpipesNetwork::neighbor(u16 node, int port) const noe
 }
 
 void XpipesNetwork::eval_master_ni(MasterNi& ni) {
-    ocp::Channel& ch = *ni.ch;
+    const ocp::ChannelRef ch = ni.ch;
     ch.tidy_response();
     switch (ni.st) {
         case MasterNi::St::Idle: {
-            if (ch.m_cmd == ocp::Cmd::Idle) break;
+            if (ch.m_cmd() == ocp::Cmd::Idle) break;
             if (!ni.tx.empty()) { // still draining the previous packet
                 stats_.master_wait_cycles[static_cast<std::size_t>(
                     &ni - masters_.data())] += 1;
                 break;
             }
-            ni.cmd = ch.m_cmd;
+            ni.cmd = ch.m_cmd();
             ni.burst = ocp::is_burst(ni.cmd)
-                           ? std::max<u16>(1, std::min<u16>(ch.m_burst, ocp::kMaxBurstLen))
+                           ? std::max<u16>(1, std::min<u16>(ch.m_burst(), ocp::kMaxBurstLen))
                            : u16{1};
             ni.beats = 0;
             ni.resp_sent = 0;
             ni.rx.clear();
-            const auto slave_idx = map_.decode(ch.m_addr);
+            const auto slave_idx = map_.decode(ch.m_addr());
             ni.err = !slave_idx;
             any_activity_ = true;
             if (ni.err) {
                 ++stats_.decode_errors;
-                ch.s_cmd_accept = true; // consume the first (or only) beat
+                ch.s_cmd_accept() = true; // consume the first (or only) beat
                 ch.touch_s();
                 if (ocp::is_write(ni.cmd)) {
                     ni.beats = 1;
@@ -118,7 +118,7 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
             Flit head;
             head.kind = Flit::Kind::Head;
             head.hdr.cmd = ni.cmd;
-            head.hdr.addr = ch.m_addr;
+            head.hdr.addr = ch.m_addr();
             head.hdr.burst = ni.burst;
             head.hdr.src_node = ni.node;
             head.hdr.dest_node = slave_node_[*slave_idx];
@@ -126,12 +126,12 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
             ni.tx.push_back(head);
             ++flits_active_;
             ++stats_.packets_sent;
-            ch.s_cmd_accept = true;
+            ch.s_cmd_accept() = true;
             ch.touch_s();
             if (ocp::is_write(ni.cmd)) {
                 Flit beat;
                 beat.kind = Flit::Kind::Payload;
-                beat.payload = ch.m_data;
+                beat.payload = ch.m_data();
                 ni.tx.push_back(beat);
                 ++flits_active_;
                 ni.beats = 1;
@@ -150,13 +150,13 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
             break;
         }
         case MasterNi::St::CollectWrite: {
-            if (!ocp::is_write(ch.m_cmd)) break; // master must hold the burst
-            ch.s_cmd_accept = true;
+            if (!ocp::is_write(ch.m_cmd())) break; // master must hold the burst
+            ch.s_cmd_accept() = true;
             ch.touch_s();
             if (!ni.err) {
                 Flit beat;
                 beat.kind = Flit::Kind::Payload;
-                beat.payload = ch.m_data;
+                beat.payload = ch.m_data();
                 ni.tx.push_back(beat);
                 ++flits_active_;
             }
@@ -172,10 +172,10 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
             break;
         }
         case MasterNi::St::AwaitResp: {
-            if (ni.rx.empty() || !ch.m_resp_accept) break;
-            ch.s_resp = ni.err ? ocp::Resp::Err : ocp::Resp::Dva;
-            ch.s_data = ni.rx.front();
-            ch.s_resp_last = (ni.resp_sent + 1 == ni.burst);
+            if (ni.rx.empty() || !ch.m_resp_accept()) break;
+            ch.s_resp() = ni.err ? ocp::Resp::Err : ocp::Resp::Dva;
+            ch.s_data() = ni.rx.front();
+            ch.s_resp_last() = (ni.resp_sent + 1 == ni.burst);
             ch.touch_s();
             ni.rx.pop_front();
             ++ni.resp_sent;
@@ -187,7 +187,7 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
 }
 
 void XpipesNetwork::eval_slave_ni(SlaveNi& ni) {
-    ocp::Channel& ch = *ni.ch;
+    const ocp::ChannelRef ch = ni.ch;
     ch.tidy_request();
     switch (ni.st) {
         case SlaveNi::St::Idle: {
@@ -213,7 +213,7 @@ void XpipesNetwork::eval_slave_ni(SlaveNi& ni) {
         }
         case SlaveNi::St::DriveReq: {
             any_activity_ = true;
-            const bool accepted = ni.pending && ch.s_cmd_accept;
+            const bool accepted = ni.pending && ch.s_cmd_accept();
             if (accepted) {
                 ni.pending = false;
                 ++ni.beats_driven;
@@ -228,10 +228,10 @@ void XpipesNetwork::eval_slave_ni(SlaveNi& ni) {
             }
             // Drive the current beat (write data comes from the packet
             // buffer, so there is no bubble between beats).
-            ch.m_cmd = ni.hdr.cmd;
-            ch.m_addr = ni.hdr.addr;
-            ch.m_burst = ni.hdr.burst;
-            ch.m_data = ocp::is_write(ni.hdr.cmd) && ni.beats_driven < ni.wdata.size()
+            ch.m_cmd() = ni.hdr.cmd;
+            ch.m_addr() = ni.hdr.addr;
+            ch.m_burst() = ni.hdr.burst;
+            ch.m_data() = ocp::is_write(ni.hdr.cmd) && ni.beats_driven < ni.wdata.size()
                             ? ni.wdata[ni.beats_driven]
                             : 0;
             ch.touch_m();
@@ -240,8 +240,8 @@ void XpipesNetwork::eval_slave_ni(SlaveNi& ni) {
         }
         case SlaveNi::St::AwaitResp: {
             any_activity_ = true;
-            if (ch.s_resp == ocp::Resp::None) break;
-            ch.m_resp_accept = true;
+            if (ch.s_resp() == ocp::Resp::None) break;
+            ch.m_resp_accept() = true;
             ch.touch_m();
             if (ni.beats_resp == 0) {
                 Flit head;
@@ -256,7 +256,7 @@ void XpipesNetwork::eval_slave_ni(SlaveNi& ni) {
             }
             Flit beat;
             beat.kind = Flit::Kind::Payload;
-            beat.payload = (ch.s_resp == ocp::Resp::Err) ? kPoison : ch.s_data;
+            beat.payload = (ch.s_resp() == ocp::Resp::Err) ? kPoison : ch.s_data();
             ni.tx.push_back(beat);
             ++flits_active_;
             ++ni.beats_resp;

@@ -50,9 +50,9 @@ public:
     explicit XpipesNetwork(XpipesConfig cfg);
 
     /// `node` is required (0 <= node < width*height); one master NI per node.
-    std::size_t connect_master(ocp::Channel& ch, int node) override;
+    std::size_t connect_master(ocp::ChannelRef ch, int node) override;
     /// One slave NI per node.
-    std::size_t connect_slave(ocp::Channel& ch, u32 base, u32 size,
+    std::size_t connect_slave(ocp::ChannelRef ch, u32 base, u32 size,
                               int node) override;
 
     void eval() override;
@@ -60,11 +60,9 @@ public:
     [[nodiscard]] Cycle quiet_for() const override {
         return (!any_activity_ && flits_active_ == 0) ? sim::kQuietForever : 0;
     }
-    /// A drained network (no flits, idle NIs) only reacts to a master
-    /// asserting a command at one of the master NIs.
-    void watch_inputs(std::vector<const u32*>& out) const override {
-        for (const MasterNi& ni : masters_) out.push_back(&ni.ch->m_gen);
-    }
+    // Activity subscription: Interconnect::watch_inputs (all master gens) —
+    // a drained network (no flits, idle NIs) only reacts to a master
+    // asserting a command at one of the master NIs.
 
     [[nodiscard]] const XpipesStats& stats() const noexcept { return stats_; }
     [[nodiscard]] u64 busy_cycles() const override { return stats_.busy_cycles; }
@@ -105,7 +103,7 @@ private:
     };
 
     struct MasterNi {
-        ocp::Channel* ch = nullptr;
+        ocp::ChannelRef ch;
         u16 node = 0;
         enum class St : u8 { Idle, CollectWrite, AwaitResp } st = St::Idle;
         ocp::Cmd cmd = ocp::Cmd::Idle;
@@ -118,7 +116,7 @@ private:
     };
 
     struct SlaveNi {
-        ocp::Channel* ch = nullptr;
+        ocp::ChannelRef ch;
         u16 node = 0;
         std::deque<Flit> rx; ///< incoming request flits (bounded)
         bool rx_has_packet = false;

@@ -4,7 +4,7 @@
 
 namespace tgsim::mem {
 
-MemorySlave::MemorySlave(ocp::Channel& channel, SlaveTiming timing, u32 base,
+MemorySlave::MemorySlave(ocp::ChannelRef channel, SlaveTiming timing, u32 base,
                          u32 size_bytes, std::string name)
     : SlaveDevice(channel, timing),
       base_(base),

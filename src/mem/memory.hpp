@@ -20,7 +20,7 @@ class MemorySlave final : public SlaveDevice {
 public:
     /// `base` and `size_bytes` define the decoded window; storage is
     /// allocated for the full window (word granularity).
-    MemorySlave(ocp::Channel& channel, SlaveTiming timing, u32 base,
+    MemorySlave(ocp::ChannelRef channel, SlaveTiming timing, u32 base,
                 u32 size_bytes, std::string name = "mem");
 
     [[nodiscard]] u32 base() const noexcept { return base_; }

@@ -2,7 +2,7 @@
 
 namespace tgsim::mem {
 
-SemaphoreDevice::SemaphoreDevice(ocp::Channel& channel, SlaveTiming timing,
+SemaphoreDevice::SemaphoreDevice(ocp::ChannelRef channel, SlaveTiming timing,
                                  u32 base, u32 count, std::string name)
     : SlaveDevice(channel, timing),
       base_(base),

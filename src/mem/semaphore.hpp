@@ -16,7 +16,7 @@ namespace tgsim::mem {
 
 class SemaphoreDevice final : public SlaveDevice {
 public:
-    SemaphoreDevice(ocp::Channel& channel, SlaveTiming timing, u32 base,
+    SemaphoreDevice(ocp::ChannelRef channel, SlaveTiming timing, u32 base,
                     u32 count, std::string name = "sem");
 
     [[nodiscard]] u32 base() const noexcept { return base_; }

@@ -4,7 +4,7 @@
 
 namespace tgsim::mem {
 
-SlaveDevice::SlaveDevice(ocp::Channel& channel, SlaveTiming timing)
+SlaveDevice::SlaveDevice(ocp::ChannelRef channel, SlaveTiming timing)
     : ch_(channel), timing_(timing) {
     timing_.beat_interval = std::max<u32>(1, timing_.beat_interval);
 }
@@ -15,7 +15,7 @@ bool SlaveDevice::driving_response() const noexcept {
 
 void SlaveDevice::eval() {
     // Fast path: idle device, idle wires — nothing to latch or drive.
-    if (state_ == State::Idle && ch_.m_cmd == ocp::Cmd::Idle) {
+    if (state_ == State::Idle && ch_.m_cmd() == ocp::Cmd::Idle) {
         latched_accept_ = false;
         if (!wires_clean_) {
             ch_.clear_response();
@@ -28,21 +28,21 @@ void SlaveDevice::eval() {
 
     // Latch the request group: the accept advertised this cycle applies to
     // exactly these wire values.
-    latched_cmd_ = ch_.m_cmd;
-    latched_addr_ = ch_.m_addr;
-    latched_data_ = ch_.m_data;
-    latched_burst_ = ch_.m_burst;
+    latched_cmd_ = ch_.m_cmd();
+    latched_addr_ = ch_.m_addr();
+    latched_data_ = ch_.m_data();
+    latched_burst_ = ch_.m_burst();
     const bool want_beat =
         (state_ == State::Idle && latched_cmd_ != ocp::Cmd::Idle) ||
         (state_ == State::WriteCollect && ocp::is_write(latched_cmd_));
     latched_accept_ = want_beat;
 
     ch_.clear_response();
-    ch_.s_cmd_accept = latched_accept_;
+    ch_.s_cmd_accept() = latched_accept_;
     if (driving_response()) {
-        ch_.s_resp = ocp::Resp::Dva;
-        ch_.s_data = resp_buf_[beats_done_];
-        ch_.s_resp_last = (beats_done_ + 1 == cur_burst_);
+        ch_.s_resp() = ocp::Resp::Dva;
+        ch_.s_data() = resp_buf_[beats_done_];
+        ch_.s_resp_last() = (beats_done_ + 1 == cur_burst_);
     }
     ch_.touch_s(); // conservative: this path re-drives the response group
 }
@@ -106,7 +106,7 @@ void SlaveDevice::update() {
             }
             // m_resp_accept is read live: the consumer (master or
             // interconnect) drives it after our eval within this cycle.
-            if (ch_.m_resp_accept) {
+            if (ch_.m_resp_accept()) {
                 ++beats_done_;
                 if (beats_done_ == cur_burst_) {
                     state_ = State::Idle;

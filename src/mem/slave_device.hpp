@@ -31,19 +31,19 @@ struct SlaveTiming {
 
 class SlaveDevice : public sim::Clocked {
 public:
-    SlaveDevice(ocp::Channel& channel, SlaveTiming timing);
+    SlaveDevice(ocp::ChannelRef channel, SlaveTiming timing);
 
     void eval() override;
     void update() override;
     [[nodiscard]] Cycle quiet_for() const override {
         return (state_ == State::Idle && wires_clean_ &&
-                ch_.m_cmd == ocp::Cmd::Idle)
+                ch_.m_cmd() == ocp::Cmd::Idle)
                    ? sim::kQuietForever
                    : 0;
     }
     /// While idle the device only reacts to its request wires.
-    void watch_inputs(std::vector<const u32*>& out) const override {
-        out.push_back(&ch_.m_gen);
+    void watch_inputs(std::vector<sim::WatchRange>& out) const override {
+        out.push_back(ch_.m_gen_watch());
     }
 
     /// True when the device is between transactions.
@@ -65,7 +65,7 @@ private:
 
     [[nodiscard]] bool driving_response() const noexcept;
 
-    ocp::Channel& ch_;
+    ocp::ChannelRef ch_;
     SlaveTiming timing_;
 
     State state_ = State::Idle;

@@ -4,26 +4,26 @@ namespace tgsim::ocp {
 
 void ChannelMonitor::eval() {
     const Cycle now = kernel_.now();
-    if (ch_.m_cmd != Cmd::Idle) ++busy_cycles_;
+    if (ch_.m_cmd() != Cmd::Idle) ++busy_cycles_;
 
     // Start of a new transaction: command wires go non-idle while we are not
     // already assembling one.
-    if (!active_ && ch_.m_cmd != Cmd::Idle) {
+    if (!active_ && ch_.m_cmd() != Cmd::Idle) {
         active_ = true;
         awaiting_resp_ = false;
         beats_seen_ = 0;
         cur_ = TransactionRecord{};
-        cur_.cmd = ch_.m_cmd;
-        cur_.addr = ch_.m_addr;
-        cur_.burst_len = is_burst(ch_.m_cmd) ? ch_.m_burst : u16{1};
+        cur_.cmd = ch_.m_cmd();
+        cur_.addr = ch_.m_addr();
+        cur_.burst_len = is_burst(ch_.m_cmd()) ? ch_.m_burst() : u16{1};
         cur_.t_assert = now;
     }
     if (!active_) return;
 
     // Request phase: watch accepted beats.
-    if (!awaiting_resp_ && ch_.s_cmd_accept && ch_.m_cmd != Cmd::Idle) {
+    if (!awaiting_resp_ && ch_.s_cmd_accept() && ch_.m_cmd() != Cmd::Idle) {
         if (is_write(cur_.cmd)) {
-            cur_.data.push_back(ch_.m_data);
+            cur_.data.push_back(ch_.m_data());
             ++beats_seen_;
             if (beats_seen_ == cur_.burst_len) {
                 cur_.t_accept = now;
@@ -38,11 +38,11 @@ void ChannelMonitor::eval() {
     }
 
     // Response phase (reads): watch consumed response beats.
-    if (awaiting_resp_ && ch_.s_resp != Resp::None && ch_.m_resp_accept) {
+    if (awaiting_resp_ && ch_.s_resp() != Resp::None && ch_.m_resp_accept()) {
         if (beats_seen_ == 0) cur_.t_resp_first = now;
-        cur_.data.push_back(ch_.s_data);
+        cur_.data.push_back(ch_.s_data());
         ++beats_seen_;
-        if (beats_seen_ == cur_.burst_len || ch_.s_resp_last) {
+        if (beats_seen_ == cur_.burst_len || ch_.s_resp_last()) {
             cur_.t_resp_last = now;
             emit();
         }

@@ -32,18 +32,18 @@ class ChannelMonitor final : public sim::Clocked {
 public:
     using Sink = std::function<void(const TransactionRecord&)>;
 
-    ChannelMonitor(const sim::Kernel& kernel, const Channel& channel, Sink sink)
+    ChannelMonitor(const sim::Kernel& kernel, ChannelRef channel, Sink sink)
         : kernel_(kernel), ch_(channel), sink_(std::move(sink)) {}
 
     void eval() override;
     void update() override {}
     [[nodiscard]] Cycle quiet_for() const override {
-        return (!active_ && ch_.m_cmd == Cmd::Idle) ? sim::kQuietForever : 0;
+        return (!active_ && ch_.m_cmd() == Cmd::Idle) ? sim::kQuietForever : 0;
     }
     /// Between transactions the monitor only reacts to the request group
     /// going non-idle.
-    void watch_inputs(std::vector<const u32*>& out) const override {
-        out.push_back(&ch_.m_gen);
+    void watch_inputs(std::vector<sim::WatchRange>& out) const override {
+        out.push_back(ch_.m_gen_watch());
     }
 
     /// Total transactions observed.
@@ -55,7 +55,7 @@ private:
     void emit();
 
     const sim::Kernel& kernel_;
-    const Channel& ch_;
+    const ChannelRef ch_;
     Sink sink_;
 
     bool active_ = false;          ///< a transaction is being assembled

@@ -19,16 +19,12 @@ void Platform::build_fabric() {
     const u32 n = cfg_.n_cores;
 
     // Channels: one per master, one per slave (n privates + shared + sems).
+    // Masters are allocated first so their store indices — and thus their
+    // m_cmd/m_gen array slices — form one contiguous run.
     channels_.reserve(2u * n + 2u);
-    for (u32 i = 0; i < n; ++i) {
-        channels_.emplace_back();
-        master_ch_.push_back(&channels_.back());
-    }
-    std::vector<ocp::Channel*> slave_ch;
-    for (u32 i = 0; i < n + 2; ++i) {
-        channels_.emplace_back();
-        slave_ch.push_back(&channels_.back());
-    }
+    for (u32 i = 0; i < n; ++i) master_ch_.push_back(channels_.allocate());
+    std::vector<ocp::ChannelRef> slave_ch;
+    for (u32 i = 0; i < n + 2; ++i) slave_ch.push_back(channels_.allocate());
 
     // Interconnect.
     switch (cfg_.ic) {
@@ -55,23 +51,23 @@ void Platform::build_fabric() {
     // node for ×pipes); shared memory and semaphores get their own nodes.
     for (u32 i = 0; i < n; ++i) {
         privs_.push_back(std::make_unique<mem::MemorySlave>(
-            *slave_ch[i], cfg_.priv_timing, priv_base(i), kPrivSize,
+            slave_ch[i], cfg_.priv_timing, priv_base(i), kPrivSize,
             "priv" + std::to_string(i)));
-        ic_->connect_slave(*slave_ch[i], priv_base(i), kPrivSize,
+        ic_->connect_slave(slave_ch[i], priv_base(i), kPrivSize,
                            static_cast<int>(i));
     }
     shared_ = std::make_unique<mem::MemorySlave>(
-        *slave_ch[n], cfg_.shared_timing, kSharedBase, kSharedSize, "shared");
-    ic_->connect_slave(*slave_ch[n], kSharedBase, kSharedSize,
+        slave_ch[n], cfg_.shared_timing, kSharedBase, kSharedSize, "shared");
+    ic_->connect_slave(slave_ch[n], kSharedBase, kSharedSize,
                        static_cast<int>(n));
     sems_ = std::make_unique<mem::SemaphoreDevice>(
-        *slave_ch[n + 1], cfg_.sem_timing, kSemBase, kSemCount, "sems");
-    ic_->connect_slave(*slave_ch[n + 1], kSemBase, 4 * kSemCount,
+        slave_ch[n + 1], cfg_.sem_timing, kSemBase, kSemCount, "sems");
+    ic_->connect_slave(slave_ch[n + 1], kSemBase, 4 * kSemCount,
                        static_cast<int>(n + 1));
 
     // Master ports.
     for (u32 i = 0; i < n; ++i)
-        ic_->connect_master(*master_ch_[i], static_cast<int>(i));
+        ic_->connect_master(master_ch_[i], static_cast<int>(i));
 
     // Kernel registration. Masters join in load_*().
     for (auto& p : privs_) kernel_.add(*p, sim::kStageSlave, p->name());
@@ -124,7 +120,7 @@ void Platform::load_workload(const apps::Workload& w) {
         cc.dcache = cfg_.dcache;
         cc.timing = cfg_.cpu_timing;
         cc.cacheable.push_back(cpu::AddrRange{priv_base(i), kPrivSize});
-        cpus_.push_back(std::make_unique<cpu::CpuCore>(*master_ch_[i], cc));
+        cpus_.push_back(std::make_unique<cpu::CpuCore>(master_ch_[i], cc));
         cpus_.back()->reset(priv_base(i) + w.cores[i].entry);
         kernel_.add(*cpus_.back(), sim::kStageMaster, "cpu" + std::to_string(i));
     }
@@ -139,7 +135,7 @@ void Platform::load_tg_programs(const std::vector<tg::TgProgram>& programs,
         throw std::invalid_argument{"Platform: TG program count mismatch"};
     apply_images(context, /*load_code=*/false);
     for (u32 i = 0; i < cfg_.n_cores; ++i) {
-        tgs_.push_back(std::make_unique<tg::TgCore>(*master_ch_[i]));
+        tgs_.push_back(std::make_unique<tg::TgCore>(master_ch_[i]));
         tgs_.back()->load(tg::assemble(programs[i]));
         for (const auto& [reg, value] : programs[i].reg_init)
             tgs_.back()->preset_reg(reg, value);
@@ -157,7 +153,7 @@ void Platform::load_stochastic(const std::vector<tg::StochasticConfig>& configs,
     apply_images(context, /*load_code=*/false);
     for (u32 i = 0; i < cfg_.n_cores; ++i) {
         stochs_.push_back(
-            std::make_unique<tg::StochasticTg>(*master_ch_[i], configs[i]));
+            std::make_unique<tg::StochasticTg>(master_ch_[i], configs[i]));
         kernel_.add(*stochs_.back(), sim::kStageMaster,
                     "stg" + std::to_string(i));
     }
@@ -170,7 +166,7 @@ void Platform::attach_monitors() {
         traces_[i].core_id = i;
         tg::Trace* sink = &traces_[i];
         monitors_.push_back(std::make_unique<ocp::ChannelMonitor>(
-            kernel_, *master_ch_[i],
+            kernel_, master_ch_[i],
             [sink](const ocp::TransactionRecord& rec) {
                 sink->events.push_back(tg::from_record(rec));
             }));

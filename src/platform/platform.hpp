@@ -128,7 +128,12 @@ public:
     [[nodiscard]] cpu::CpuCore& core(u32 i) { return *cpus_.at(i); }
     [[nodiscard]] tg::TgCore& tg_core(u32 i) { return *tgs_.at(i); }
     [[nodiscard]] bool has_cpus() const noexcept { return !cpus_.empty(); }
-    [[nodiscard]] ocp::Channel& master_channel(u32 i) { return *master_ch_.at(i); }
+    [[nodiscard]] ocp::ChannelRef master_channel(u32 i) { return master_ch_.at(i); }
+    /// The platform's wire store: master channels occupy indices
+    /// [0, n_cores), slave channels follow.
+    [[nodiscard]] const ocp::ChannelStore& channel_store() const noexcept {
+        return channels_;
+    }
 
 private:
     void build_fabric();
@@ -138,10 +143,12 @@ private:
 
     PlatformConfig cfg_;
     sim::Kernel kernel_;
-    /// Contiguous channel storage (reserved up front; pointers stable).
-    /// Locality matters: the bus scans every master channel every cycle.
-    std::vector<ocp::Channel> channels_;
-    std::vector<ocp::Channel*> master_ch_;
+    /// Structure-of-arrays store owning all wire state: masters first (so
+    /// the fabrics' arbitration and gen scans sweep one contiguous run),
+    /// then slaves. Locality matters: the bus scans every master channel
+    /// every active cycle.
+    ocp::ChannelStore channels_;
+    std::vector<ocp::ChannelRef> master_ch_;
     std::unique_ptr<ic::Interconnect> ic_;
     std::vector<std::unique_ptr<cpu::CpuCore>> cpus_;
     std::vector<std::unique_ptr<tg::TgCore>> tgs_;

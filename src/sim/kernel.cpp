@@ -71,7 +71,8 @@ Cycle Kernel::step(Cycle cap) {
 
 u64 Kernel::gen_sum(const Slot& s) const noexcept {
     u64 sum = 0;
-    for (const u32* g : s.watch) sum += *g;
+    for (const WatchRange& r : s.watch)
+        for (u32 i = 0; i < r.count; ++i) sum += r.first[i];
     return sum;
 }
 

@@ -34,9 +34,11 @@
 // update() calls and is re-armed either
 //
 //   * by timer — a min-heap of wake times fires at now + n, or
-//   * by activity — the component names the activity generation counters of
-//     the wire groups it observes (watch_inputs(), see ocp::Channel::m_gen /
-//     s_gen); whenever one of those counters moves, the component is woken at
+//   * by activity — the component names contiguous ranges of the activity
+//     generation counters of the wire groups it observes (watch_inputs(),
+//     see ocp::ChannelStore::m_gen / s_gen, scanned as straight sweeps over
+//     the store arrays); whenever one of those counters moves, the
+//     component is woken at
 //     its own position in the eval order, so it observes the change on
 //     exactly the cycle it would have in the fully clocked schedule.
 //
@@ -99,15 +101,16 @@ public:
     /// it had been ticked `cycles` times under unchanged inputs.
     virtual void advance(Cycle cycles) { (void)cycles; }
 
-    /// Activity subscription (optional): appends pointers to the activity
-    /// generation counters (e.g. ocp::Channel::m_gen) of every wire group
-    /// this component observes while quiet. The gating kernel re-arms a
-    /// parked component as soon as any watched counter moves. Components
+    /// Activity subscription (optional): appends contiguous ranges of the
+    /// activity generation counters (e.g. a slice of ocp::ChannelStore's
+    /// m_gen array) of every wire group this component observes while quiet.
+    /// The gating kernel re-arms a parked component as soon as any watched
+    /// counter moves, scanning each range as one contiguous sweep. Components
     /// that are input-insensitive while quiet (masters sleeping on a timer)
     /// leave the list empty and wake by timer only. Called once, lazily, the
-    /// first time the component parks — the watch set must be stable from
-    /// then on.
-    virtual void watch_inputs(std::vector<const u32*>& out) const { (void)out; }
+    /// first time the component parks — the watch set (and the store memory
+    /// the ranges point into) must be stable from then on.
+    virtual void watch_inputs(std::vector<WatchRange>& out) const { (void)out; }
 };
 
 /// Deterministic cycle-driven scheduler. Non-owning: components are owned by
@@ -181,8 +184,9 @@ private:
         Cycle parked_since = 0;  ///< first gated cycle
         Cycle wake_at = kNoWake; ///< scheduled timer wake (kNoWake: none)
         u64 gen_seen = 0;        ///< watched-counter sum at parking time
-        /// Cached activity counters this component watches (watch_inputs).
-        std::vector<const u32*> watch;
+        /// Cached activity counter ranges this component watches
+        /// (watch_inputs); each range is scanned as one contiguous sweep.
+        std::vector<WatchRange> watch;
     };
 
     void sort_slots();

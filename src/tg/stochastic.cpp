@@ -5,7 +5,7 @@
 
 namespace tgsim::tg {
 
-StochasticTg::StochasticTg(ocp::Channel& channel, StochasticConfig cfg)
+StochasticTg::StochasticTg(ocp::ChannelRef channel, StochasticConfig cfg)
     : ch_(channel), cfg_(std::move(cfg)), rng_(cfg_.seed) {
     if (cfg_.targets.empty())
         throw std::invalid_argument{"StochasticTg: no targets"};
@@ -52,19 +52,19 @@ void StochasticTg::eval() {
         (!req_.accepted ||
          (ocp::is_write(req_.cmd) && req_.wbeats < req_.burst));
     if (drive) {
-        ch_.m_cmd = req_.cmd;
-        ch_.m_addr = req_.addr;
-        ch_.m_data = req_.data + req_.wbeats; // distinguishable beat values
-        ch_.m_burst = req_.burst;
-        ch_.m_resp_accept = ocp::is_read(req_.cmd);
+        ch_.m_cmd() = req_.cmd;
+        ch_.m_addr() = req_.addr;
+        ch_.m_data() = req_.data + req_.wbeats; // distinguishable beat values
+        ch_.m_burst() = req_.burst;
+        ch_.m_resp_accept() = ocp::is_read(req_.cmd);
         ch_.touch_m();
         wires_clean_ = false;
     } else if (req_.active) {
-        ch_.m_cmd = ocp::Cmd::Idle;
-        ch_.m_addr = 0;
-        ch_.m_data = 0;
-        ch_.m_burst = 1;
-        ch_.m_resp_accept = ocp::is_read(req_.cmd);
+        ch_.m_cmd() = ocp::Cmd::Idle;
+        ch_.m_addr() = 0;
+        ch_.m_data() = 0;
+        ch_.m_burst() = 1;
+        ch_.m_resp_accept() = ocp::is_read(req_.cmd);
         ch_.touch_m();
         wires_clean_ = false;
     } else if (!wires_clean_) {
@@ -98,15 +98,15 @@ void StochasticTg::update() {
         }
         case State::MemWait: {
             if (ocp::is_write(req_.cmd)) {
-                if (ch_.s_cmd_accept) {
+                if (ch_.s_cmd_accept()) {
                     ++req_.wbeats;
                     if (req_.wbeats == req_.burst) req_.active = false;
                 }
             } else {
-                if (!req_.accepted && ch_.s_cmd_accept) req_.accepted = true;
-                if (ch_.s_resp != ocp::Resp::None) {
+                if (!req_.accepted && ch_.s_cmd_accept()) req_.accepted = true;
+                if (ch_.s_resp() != ocp::Resp::None) {
                     ++req_.rbeats;
-                    if (ch_.s_resp_last || req_.rbeats == req_.burst)
+                    if (ch_.s_resp_last() || req_.rbeats == req_.burst)
                         req_.active = false;
                 }
             }

@@ -46,7 +46,7 @@ struct StochasticConfig {
 
 class StochasticTg final : public sim::Clocked {
 public:
-    StochasticTg(ocp::Channel& channel, StochasticConfig cfg);
+    StochasticTg(ocp::ChannelRef channel, StochasticConfig cfg);
 
     void eval() override;
     void update() override;
@@ -71,7 +71,7 @@ private:
     [[nodiscard]] u64 draw_gap();
     [[nodiscard]] u32 draw_addr();
 
-    ocp::Channel& ch_;
+    ocp::ChannelRef ch_;
     StochasticConfig cfg_;
     sim::Rng rng_;
     u32 total_weight_ = 0;

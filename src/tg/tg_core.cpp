@@ -46,23 +46,23 @@ void TgCore::eval() {
             ch_.clear_request();
             break;
         case DriveState::Request:
-            ch_.m_cmd = req_.cmd;
-            ch_.m_addr = req_.addr;
-            ch_.m_burst = req_.burst;
+            ch_.m_cmd() = req_.cmd;
+            ch_.m_addr() = req_.addr;
+            ch_.m_burst() = req_.burst;
             if (req_.cmd == ocp::Cmd::Write)
-                ch_.m_data = single_wdata_;
+                ch_.m_data() = single_wdata_;
             else if (req_.cmd == ocp::Cmd::BurstWrite)
-                ch_.m_data = image_[req_.wdata_base + req_.wbeats_done];
+                ch_.m_data() = image_[req_.wdata_base + req_.wbeats_done];
             else
-                ch_.m_data = 0;
-            ch_.m_resp_accept = ocp::is_read(req_.cmd);
+                ch_.m_data() = 0;
+            ch_.m_resp_accept() = ocp::is_read(req_.cmd);
             break;
         case DriveState::RespWait:
-            ch_.m_cmd = ocp::Cmd::Idle;
-            ch_.m_addr = 0;
-            ch_.m_data = 0;
-            ch_.m_burst = 1;
-            ch_.m_resp_accept = true;
+            ch_.m_cmd() = ocp::Cmd::Idle;
+            ch_.m_addr() = 0;
+            ch_.m_data() = 0;
+            ch_.m_burst() = 1;
+            ch_.m_resp_accept() = true;
             break;
     }
     driven_ = desired;
@@ -204,7 +204,7 @@ void TgCore::exec_one() {
 
 void TgCore::mem_progress() {
     if (req_.active && ocp::is_write(req_.cmd)) {
-        if (ch_.s_cmd_accept) {
+        if (ch_.s_cmd_accept()) {
             ++req_.wbeats_done;
             if (req_.wbeats_done == req_.burst) {
                 req_ = Request{};
@@ -214,13 +214,13 @@ void TgCore::mem_progress() {
         return;
     }
     if (!req_.active) return;
-    if (!req_.accepted && ch_.s_cmd_accept) req_.accepted = true;
-    if (ch_.s_resp != ocp::Resp::None) {
-        if (ch_.s_resp == ocp::Resp::Err) ++stats_.bus_errors;
+    if (!req_.accepted && ch_.s_cmd_accept()) req_.accepted = true;
+    if (ch_.s_resp() != ocp::Resp::None) {
+        if (ch_.s_resp() == ocp::Resp::Err) ++stats_.bus_errors;
         req_.last_data =
-            (ch_.s_resp == ocp::Resp::Err) ? kPoison : ch_.s_data;
+            (ch_.s_resp() == ocp::Resp::Err) ? kPoison : ch_.s_data();
         ++req_.rbeats;
-        if (ch_.s_resp_last || req_.rbeats == req_.burst) {
+        if (ch_.s_resp_last() || req_.rbeats == req_.burst) {
             regs_[kRdReg] = req_.last_data;
             req_ = Request{};
             state_ = State::Run;

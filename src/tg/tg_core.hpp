@@ -32,7 +32,7 @@ struct TgStats {
 
 class TgCore final : public sim::Clocked {
 public:
-    explicit TgCore(ocp::Channel& channel) : ch_(channel) {}
+    explicit TgCore(ocp::ChannelRef channel) : ch_(channel) {}
 
     /// Loads a binary image (see tg/program.hpp) and resets.
     void load(std::vector<u32> image);
@@ -59,7 +59,7 @@ private:
     void exec_one();
     void mem_progress();
 
-    ocp::Channel& ch_;
+    ocp::ChannelRef ch_;
     std::vector<u32> image_;
     std::array<u32, kTgNumRegs> regs_{};
     u32 pc_ = 0;

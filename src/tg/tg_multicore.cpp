@@ -54,23 +54,23 @@ void TgMultiCore::eval() {
         req_.active &&
         (!req_.accepted || (ocp::is_write(req_.cmd) && req_.wbeats_done < req_.burst));
     if (drive_cmd) {
-        ch_.m_cmd = req_.cmd;
-        ch_.m_addr = req_.addr;
-        ch_.m_burst = req_.burst;
+        ch_.m_cmd() = req_.cmd;
+        ch_.m_addr() = req_.addr;
+        ch_.m_burst() = req_.burst;
         if (req_.cmd == ocp::Cmd::Write)
-            ch_.m_data = single_wdata_;
+            ch_.m_data() = single_wdata_;
         else if (req_.cmd == ocp::Cmd::BurstWrite)
-            ch_.m_data =
+            ch_.m_data() =
                 threads_[static_cast<std::size_t>(current_)]
                     .image[req_.wdata_base + req_.wbeats_done];
         else
-            ch_.m_data = 0;
-        ch_.m_resp_accept = ocp::is_read(req_.cmd);
+            ch_.m_data() = 0;
+        ch_.m_resp_accept() = ocp::is_read(req_.cmd);
         ch_.touch_m();
         wires_clean_ = false;
     } else if (req_.active) { // read awaiting response
-        ch_.m_cmd = ocp::Cmd::Idle;
-        ch_.m_resp_accept = true;
+        ch_.m_cmd() = ocp::Cmd::Idle;
+        ch_.m_resp_accept() = true;
         ch_.touch_m();
         wires_clean_ = false;
     } else if (!wires_clean_) {
@@ -236,17 +236,17 @@ void TgMultiCore::exec_current() {
 void TgMultiCore::mem_progress() {
     Thread& t = threads_[static_cast<std::size_t>(current_)];
     if (ocp::is_write(req_.cmd)) {
-        if (ch_.s_cmd_accept) {
+        if (ch_.s_cmd_accept()) {
             ++req_.wbeats_done;
             if (req_.wbeats_done == req_.burst) req_ = Request{};
         }
         return;
     }
-    if (!req_.accepted && ch_.s_cmd_accept) req_.accepted = true;
-    if (ch_.s_resp != ocp::Resp::None) {
-        req_.last_data = (ch_.s_resp == ocp::Resp::Err) ? kPoison : ch_.s_data;
+    if (!req_.accepted && ch_.s_cmd_accept()) req_.accepted = true;
+    if (ch_.s_resp() != ocp::Resp::None) {
+        req_.last_data = (ch_.s_resp() == ocp::Resp::Err) ? kPoison : ch_.s_data();
         ++req_.rbeats;
-        if (ch_.s_resp_last || req_.rbeats == req_.burst) {
+        if (ch_.s_resp_last() || req_.rbeats == req_.burst) {
             t.regs[kRdReg] = req_.last_data;
             req_ = Request{};
         }

@@ -50,7 +50,7 @@ struct TgMultiStats {
 
 class TgMultiCore final : public sim::Clocked {
 public:
-    TgMultiCore(ocp::Channel& channel, TgMultiConfig cfg)
+    TgMultiCore(ocp::ChannelRef channel, TgMultiConfig cfg)
         : ch_(channel), cfg_(cfg) {}
 
     /// Adds a thread program (binary image + initial registers). Threads
@@ -92,7 +92,7 @@ private:
     [[nodiscard]] int next_ready(int from) const;
     void begin_switch(int to);
 
-    ocp::Channel& ch_;
+    ocp::ChannelRef ch_;
     TgMultiConfig cfg_;
     std::vector<Thread> threads_;
 

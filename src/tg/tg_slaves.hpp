@@ -29,7 +29,7 @@ using SharedMemTgSlave = mem::MemorySlave;
 /// responses recognisable in waveforms without storing any state.
 class DummySlaveTg final : public mem::SlaveDevice {
 public:
-    DummySlaveTg(ocp::Channel& channel, mem::SlaveTiming timing, u32 base,
+    DummySlaveTg(ocp::ChannelRef channel, mem::SlaveTiming timing, u32 base,
                  u32 size, u32 base_value = 0xD0000000u, u32 stride = 1u)
         : SlaveDevice(channel, timing),
           base_(base),

@@ -252,6 +252,64 @@ TEST(GatingEquivalence, TgMultiCoreMatches) {
     EXPECT_EQ(instrs[0], instrs[1]);
 }
 
+// --- ChannelStore migration goldens ------------------------------------------
+
+// Bit-identity across the AoS -> structure-of-arrays ChannelStore migration:
+// these observables (completion cycles, instruction counts, interconnect
+// statistics, rendered trace text, shared-memory image) were captured on the
+// pre-migration build for every interconnect, both gated and fully clocked.
+// Any divergence means the store refactor changed simulated behaviour.
+TEST(GatingEquivalence, ChannelStoreMigrationMatchesPreSoAGoldens) {
+    struct Golden {
+        const char* workload;
+        IcKind ic;
+        Cycle cycles;
+        u64 instructions;
+        u64 ic_busy;
+        u64 ic_contention;
+        u64 trace_fnv;
+        u64 shared_crc;
+    };
+    const Golden goldens[] = {
+        {"mp_matrix", IcKind::Amba, 21755u, 28040u, 4373u, 339u,
+         0x428a17945fcca63full, 0xcc5e73bd8a1f1e76ull},
+        {"mp_matrix", IcKind::Crossbar, 21636u, 28062u, 3891u, 6u,
+         0x3956ba4a8d5baa16ull, 0xcc5e73bd8a1f1e76ull},
+        {"mp_matrix", IcKind::Xpipes, 23900u, 28018u, 9820u, 3u,
+         0x29b00af60c3252e1ull, 0xcc5e73bd8a1f1e76ull},
+        {"cacheloop", IcKind::Amba, 12016u, 16004u, 14u, 7u,
+         0x3b06328fa7c04c50ull, 0x28c31cf8df2ec325ull},
+        {"cacheloop", IcKind::Crossbar, 12009u, 16004u, 7u, 0u,
+         0x7bf87c8d32bee10dull, 0x28c31cf8df2ec325ull},
+        {"cacheloop", IcKind::Xpipes, 12015u, 16004u, 13u, 0u,
+         0xffe134ab843b78d1ull, 0x28c31cf8df2ec325ull},
+    };
+    const auto fnv_text = [](u64 h, const std::string& s) {
+        for (const char c : s)
+            h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+        return h;
+    };
+    for (const Golden& g : goldens) {
+        const Workload w = (std::string(g.workload) == "mp_matrix")
+                               ? apps::make_mp_matrix({2, 12})
+                               : apps::make_cacheloop({2, 4000});
+        for (const bool gating : {true, false}) {
+            const auto o = observe_cpu_run(w, cfg_for(2, g.ic, gating));
+            const std::string what = std::string(g.workload) + "/" +
+                                     std::string(platform::to_string(g.ic)) +
+                                     (gating ? "/gated" : "/clocked");
+            EXPECT_EQ(o.result.cycles, g.cycles) << what;
+            EXPECT_EQ(o.result.total_instructions, g.instructions) << what;
+            EXPECT_EQ(o.ic_busy, g.ic_busy) << what;
+            EXPECT_EQ(o.ic_contention, g.ic_contention) << what;
+            u64 th = 0xcbf29ce484222325ull;
+            for (const std::string& t : o.traces) th = fnv_text(th, t);
+            EXPECT_EQ(th, g.trace_fnv) << what;
+            EXPECT_EQ(o.shared_crc, g.shared_crc) << what;
+        }
+    }
+}
+
 // --- kernel-level behaviours -------------------------------------------------
 
 TEST(GatingKernel, ParksIdleComponentsAndReportsCount) {

@@ -31,18 +31,122 @@ TEST(OcpTypes, Names) {
 
 TEST(Channel, ClearResetsWireGroups) {
     ocp::Channel ch;
-    ch.m_cmd = ocp::Cmd::Write;
-    ch.m_addr = 0x123;
-    ch.m_resp_accept = true;
-    ch.s_cmd_accept = true;
-    ch.s_resp = ocp::Resp::Dva;
+    ch.m_cmd() = ocp::Cmd::Write;
+    ch.m_addr() = 0x123;
+    ch.m_resp_accept() = true;
+    ch.s_cmd_accept() = true;
+    ch.s_resp() = ocp::Resp::Dva;
     ch.clear_request();
-    EXPECT_EQ(ch.m_cmd, ocp::Cmd::Idle);
-    EXPECT_FALSE(ch.m_resp_accept);
-    EXPECT_TRUE(ch.s_cmd_accept); // response side untouched
+    EXPECT_EQ(ch.m_cmd(), ocp::Cmd::Idle);
+    EXPECT_FALSE(ch.m_resp_accept());
+    EXPECT_TRUE(ch.s_cmd_accept()); // response side untouched
     ch.clear_response();
-    EXPECT_FALSE(ch.s_cmd_accept);
-    EXPECT_EQ(ch.s_resp, ocp::Resp::None);
+    EXPECT_FALSE(ch.s_cmd_accept());
+    EXPECT_EQ(ch.s_resp(), ocp::Resp::None);
+}
+
+// --- ChannelStore (structure-of-arrays wire state) ---
+
+TEST(ChannelStore, AllocatesIdleChannelsWithDenseIndices) {
+    ocp::ChannelStore store;
+    const ocp::ChannelRef a = store.allocate();
+    const ocp::ChannelRef b = store.allocate();
+    const ocp::ChannelRef c = store.allocate();
+    EXPECT_EQ(store.size(), 3u);
+    EXPECT_EQ(a.index(), 0u);
+    EXPECT_EQ(b.index(), 1u);
+    EXPECT_EQ(c.index(), 2u);
+    for (const ocp::ChannelRef& r : {a, b, c}) {
+        EXPECT_TRUE(r.request_is_idle());
+        EXPECT_TRUE(r.response_is_idle());
+        EXPECT_EQ(r.m_gen(), 0u);
+        EXPECT_EQ(r.s_gen(), 0u);
+    }
+}
+
+TEST(ChannelStore, RefsSurviveStoreGrowth) {
+    // ChannelRefs are store + index, so allocating more channels (which may
+    // reallocate the field arrays) must not invalidate earlier handles.
+    ocp::ChannelStore store;
+    const ocp::ChannelRef first = store.allocate();
+    first.m_addr() = 0xABCD;
+    for (int i = 0; i < 1000; ++i) store.allocate();
+    EXPECT_EQ(first.m_addr(), 0xABCDu);
+    first.m_cmd() = ocp::Cmd::Read;
+    EXPECT_EQ(store.m_cmd[0], ocp::Cmd::Read);
+}
+
+TEST(ChannelStore, ChannelsAreIndependent) {
+    ocp::ChannelStore store;
+    const ocp::ChannelRef a = store.allocate();
+    const ocp::ChannelRef b = store.allocate();
+    a.m_cmd() = ocp::Cmd::Write;
+    a.m_data() = 7;
+    a.touch_m();
+    EXPECT_TRUE(b.request_is_idle());
+    EXPECT_EQ(b.m_gen(), 0u);
+    EXPECT_FALSE(a.request_is_idle());
+}
+
+TEST(ChannelStore, TidyRequestBumpsMasterGenOnlyWhenDriven) {
+    ocp::ChannelStore store;
+    const ocp::ChannelRef ch = store.allocate();
+    // Idle wires: tidy is a no-op and must not bump (spurious wakes cost
+    // time; the contract only forbids missed bumps).
+    EXPECT_FALSE(ch.tidy_request());
+    EXPECT_EQ(ch.m_gen(), 0u);
+    ch.m_cmd() = ocp::Cmd::BurstWrite;
+    ch.m_burst() = 4;
+    EXPECT_TRUE(ch.tidy_request());
+    EXPECT_EQ(ch.m_gen(), 1u);
+    EXPECT_EQ(ch.s_gen(), 0u); // per-side: slave gen untouched
+    EXPECT_TRUE(ch.request_is_idle());
+}
+
+TEST(ChannelStore, TidyResponseBumpsSlaveGenOnlyWhenDriven) {
+    ocp::ChannelStore store;
+    const ocp::ChannelRef ch = store.allocate();
+    EXPECT_FALSE(ch.tidy_response());
+    EXPECT_EQ(ch.s_gen(), 0u);
+    ch.s_resp() = ocp::Resp::Dva;
+    ch.s_data() = 0x55;
+    ch.s_resp_last() = true;
+    EXPECT_TRUE(ch.tidy_response());
+    EXPECT_EQ(ch.s_gen(), 1u);
+    EXPECT_EQ(ch.m_gen(), 0u);
+    EXPECT_TRUE(ch.response_is_idle());
+}
+
+TEST(ChannelStore, WatchRangesAreContiguousSlices) {
+    ocp::ChannelStore store;
+    store.reserve(4);
+    const ocp::ChannelRef a = store.allocate();
+    const ocp::ChannelRef b = store.allocate();
+    store.allocate();
+    const sim::WatchRange r = store.m_gen_range(0, 3);
+    ASSERT_EQ(r.count, 3u);
+    a.touch_m();
+    b.touch_m();
+    b.touch_m();
+    EXPECT_EQ(r.first[0], 1u);
+    EXPECT_EQ(r.first[1], 2u);
+    EXPECT_EQ(r.first[2], 0u);
+    // Single-channel watch points at the same slot.
+    EXPECT_EQ(b.m_gen_watch().first, r.first + 1);
+    EXPECT_EQ(b.m_gen_watch().count, 1u);
+}
+
+TEST(ChannelStore, FieldArraysBackRefAccessors) {
+    // The SoA arrays and the ref accessors are the same storage.
+    ocp::ChannelStore store;
+    const ocp::ChannelRef a = store.allocate();
+    const ocp::ChannelRef b = store.allocate();
+    a.m_cmd() = ocp::Cmd::Read;
+    b.m_cmd() = ocp::Cmd::Write;
+    EXPECT_EQ(store.m_cmd[0], ocp::Cmd::Read);
+    EXPECT_EQ(store.m_cmd[1], ocp::Cmd::Write);
+    store.m_addr[1] = 0x40;
+    EXPECT_EQ(b.m_addr(), 0x40u);
 }
 
 struct MonitorRig {

@@ -81,7 +81,7 @@ public:
         std::vector<u32> rdata;
     };
 
-    TestMaster(const sim::Kernel& kernel, ocp::Channel& ch)
+    TestMaster(const sim::Kernel& kernel, ocp::ChannelRef ch)
         : kernel_(kernel), ch_(ch) {}
 
     void push(Op op) { queue_.push_back(std::move(op)); }
@@ -108,19 +108,19 @@ public:
             active_ && (!accepted_ && (!ocp::is_write(cur_.op.cmd) ||
                                        beats_acc_ < cur_.op.burst));
         if (driving) {
-            ch_.m_cmd = cur_.op.cmd;
-            ch_.m_addr = cur_.op.addr;
-            ch_.m_burst = cur_.op.burst;
-            ch_.m_data = ocp::is_write(cur_.op.cmd) && beats_acc_ < cur_.op.wdata.size()
+            ch_.m_cmd() = cur_.op.cmd;
+            ch_.m_addr() = cur_.op.addr;
+            ch_.m_burst() = cur_.op.burst;
+            ch_.m_data() = ocp::is_write(cur_.op.cmd) && beats_acc_ < cur_.op.wdata.size()
                              ? cur_.op.wdata[beats_acc_]
                              : 0u;
         } else {
-            ch_.m_cmd = ocp::Cmd::Idle;
-            ch_.m_addr = 0;
-            ch_.m_data = 0;
-            ch_.m_burst = 1;
+            ch_.m_cmd() = ocp::Cmd::Idle;
+            ch_.m_addr() = 0;
+            ch_.m_data() = 0;
+            ch_.m_burst() = 1;
         }
-        ch_.m_resp_accept = active_ && ocp::is_read(cur_.op.cmd);
+        ch_.m_resp_accept() = active_ && ocp::is_read(cur_.op.cmd);
         // Conservative activity bump: this scripted master redrives the
         // request group every cycle, so gated peers stay armed.
         ch_.touch_m();
@@ -129,7 +129,7 @@ public:
     void update() override {
         if (!active_) return;
         if (ocp::is_write(cur_.op.cmd)) {
-            if (ch_.s_cmd_accept) {
+            if (ch_.s_cmd_accept()) {
                 ++beats_acc_;
                 if (beats_acc_ == cur_.op.burst) {
                     cur_.t_accept = kernel_.now();
@@ -138,14 +138,14 @@ public:
             }
             return;
         }
-        if (!accepted_ && ch_.s_cmd_accept) {
+        if (!accepted_ && ch_.s_cmd_accept()) {
             accepted_ = true;
             cur_.t_accept = kernel_.now();
         }
-        if (ch_.s_resp != ocp::Resp::None) {
+        if (ch_.s_resp() != ocp::Resp::None) {
             if (cur_.rdata.empty()) cur_.t_resp_first = kernel_.now();
-            cur_.rdata.push_back(ch_.s_data);
-            if (ch_.s_resp_last || cur_.rdata.size() == cur_.op.burst) {
+            cur_.rdata.push_back(ch_.s_data());
+            if (ch_.s_resp_last() || cur_.rdata.size() == cur_.op.burst) {
                 cur_.t_resp_last = kernel_.now();
                 finish();
             }
@@ -159,7 +159,7 @@ private:
     }
 
     const sim::Kernel& kernel_;
-    ocp::Channel& ch_;
+    ocp::ChannelRef ch_;
     std::vector<Op> queue_;
     std::size_t next_ = 0;
     bool active_ = false;
