@@ -2,30 +2,22 @@
 //
 // A reference simulation is run ONCE (cycle-true cores on the AMBA bus,
 // traces collected). The traces are translated once into TG programs. Then
-// every candidate interconnect is evaluated with the cheap TG platform:
-// AMBA with two arbitration policies, the STBus-like crossbar, and three
-// ×pipes mesh configurations — printing execution time, interconnect
-// utilisation and contention for each candidate, plus a CPU ground-truth
-// column that shows the TG predictions are trustworthy.
+// every candidate interconnect is evaluated with the cheap TG platform —
+// in parallel, one share-nothing Platform per worker thread, via
+// sweep::SweepDriver (docs/sweep.md): AMBA with two arbitration policies,
+// the STBus-like crossbar, and three ×pipes mesh configurations — printing
+// execution time, interconnect utilisation and contention for each
+// candidate, plus a CPU ground-truth column that shows the TG predictions
+// are trustworthy.
 #include <cstdio>
-#include <string>
 #include <vector>
 
 #include "apps/apps.hpp"
 #include "platform/platform.hpp"
-#include "tg/program.hpp"
+#include "sweep/sweep.hpp"
 #include "tg/translator.hpp"
 
 using namespace tgsim;
-
-namespace {
-
-struct Candidate {
-    std::string name;
-    platform::PlatformConfig cfg;
-};
-
-} // namespace
 
 int main() {
     constexpr u32 kCores = 6;
@@ -58,9 +50,9 @@ int main() {
                 programs.size());
 
     // --- candidate fabrics ---
-    std::vector<Candidate> candidates;
+    std::vector<sweep::Candidate> candidates;
     {
-        Candidate c;
+        sweep::Candidate c;
         c.name = "AMBA round-robin";
         c.cfg.ic = platform::IcKind::Amba;
         c.cfg.arbitration = ic::Arbitration::RoundRobin;
@@ -84,45 +76,51 @@ int main() {
         candidates.push_back(c);
     }
 
+    // --- parallel evaluation: trace once, translate once, sweep wide ---
+    sweep::SweepDriver driver{programs, w};
+    sweep::SweepOptions opts;
+    opts.max_cycles = 20'000'000;
+    opts.with_cpu_truth = true; // ground-truth column (the expensive half)
+    sim::WallTimer timer;
+    const std::vector<sweep::SweepResult> results =
+        driver.run(candidates, opts);
+    std::printf("evaluated %zu candidates in %.3f s wall (%u workers)\n\n",
+                results.size(), timer.seconds(),
+                sweep::resolve_jobs(opts.jobs, candidates.size()));
+
     std::printf("%-18s %12s %12s %9s %10s %10s\n", "interconnect",
                 "TG cycles", "CPU truth", "TG err", "busy%", "contention");
-    for (auto& cand : candidates) {
-        cand.cfg.n_cores = kCores;
-
-        platform::Platform tgp{cand.cfg};
-        tgp.load_tg_programs(programs, w);
-        const auto tg_res = tgp.run(20'000'000);
-
-        platform::Platform cpu{cand.cfg};
-        cpu.load_workload(w);
-        const auto cpu_res = cpu.run(20'000'000);
-
-        if (!tg_res.completed || !cpu_res.completed) {
+    for (const sweep::SweepResult& r : results) {
+        if (r.failure == sweep::FailureKind::ChecksFailed) {
+            // Both platforms finished but the replay left memory wrong —
+            // never a "finding", always a bug worth surfacing loudly.
+            std::printf("%-18s CHECKS FAILED: %s\n", r.name.c_str(),
+                        r.error.c_str());
+            continue;
+        }
+        if (r.failure == sweep::FailureKind::SetupError) {
+            // The worker never got a run going (e.g. an impossible mesh
+            // threw during Platform construction); r.error has the cause.
+            std::printf("%-18s FAILED: %s\n", r.name.c_str(), r.error.c_str());
+            continue;
+        }
+        if (!r.completed || !r.cpu_completed) {
             // A real finding, not an error: e.g. fixed-priority arbitration
             // lets high-priority pollers starve the low-priority semaphore
             // holder, and both the TG platform and the CPU ground truth
             // expose the livelock.
             std::printf("%-18s LIVELOCK/TIMEOUT (TG %s, CPU %s) — rejected\n",
-                        cand.name.c_str(),
-                        tg_res.completed ? "completes" : "stalls",
-                        cpu_res.completed ? "completes" : "stalls");
+                        r.name.c_str(),
+                        r.completed ? "completes" : "stalls",
+                        r.cpu_completed ? "completes" : "stalls");
             continue;
         }
-        const double err =
-            100.0 *
-            (static_cast<double>(tg_res.cycles) - static_cast<double>(cpu_res.cycles)) /
-            static_cast<double>(cpu_res.cycles);
-        // Denominator: halt-derived completion time (poll-interval
-        // independent), not kernel().now() which may overshoot completion.
-        const double busy =
-            100.0 * static_cast<double>(tgp.interconnect().busy_cycles()) /
-            static_cast<double>(tg_res.cycles);
         std::printf("%-18s %12llu %12llu %+8.2f%% %9.1f%% %10llu\n",
-                    cand.name.c_str(),
-                    static_cast<unsigned long long>(tg_res.cycles),
-                    static_cast<unsigned long long>(cpu_res.cycles), err, busy,
-                    static_cast<unsigned long long>(
-                        tgp.interconnect().contention_cycles()));
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.cycles),
+                    static_cast<unsigned long long>(r.cpu_cycles), r.err_pct,
+                    r.busy_pct,
+                    static_cast<unsigned long long>(r.contention_cycles));
     }
 
     std::printf(

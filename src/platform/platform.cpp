@@ -129,15 +129,20 @@ void Platform::load_workload(const apps::Workload& w) {
 
 void Platform::load_tg_programs(const std::vector<tg::TgProgram>& programs,
                                 const apps::Workload& context) {
+    load_tg_binaries(tg::assemble_all(programs), context);
+}
+
+void Platform::load_tg_binaries(const std::vector<tg::AssembledTg>& binaries,
+                                const apps::Workload& context) {
     if (!cpus_.empty() || !tgs_.empty() || !stochs_.empty())
         throw std::logic_error{"Platform: masters already loaded"};
-    if (programs.size() != cfg_.n_cores)
+    if (binaries.size() != cfg_.n_cores)
         throw std::invalid_argument{"Platform: TG program count mismatch"};
     apply_images(context, /*load_code=*/false);
     for (u32 i = 0; i < cfg_.n_cores; ++i) {
         tgs_.push_back(std::make_unique<tg::TgCore>(master_ch_[i]));
-        tgs_.back()->load(tg::assemble(programs[i]));
-        for (const auto& [reg, value] : programs[i].reg_init)
+        tgs_.back()->load(binaries[i].image);
+        for (const auto& [reg, value] : binaries[i].reg_init)
             tgs_.back()->preset_reg(reg, value);
         kernel_.add(*tgs_.back(), sim::kStageMaster, "tg" + std::to_string(i));
     }

@@ -26,6 +26,7 @@
 #include "mem/semaphore.hpp"
 #include "ocp/monitor.hpp"
 #include "platform/memory_map.hpp"
+#include "tg/program.hpp"
 #include "tg/stochastic.hpp"
 #include "tg/tg_core.hpp"
 #include "tg/trace.hpp"
@@ -97,6 +98,14 @@ public:
     void load_tg_programs(const std::vector<tg::TgProgram>& programs,
                           const apps::Workload& context);
 
+    /// Same, from pre-assembled binaries (tg::assemble_all). The binaries
+    /// are shared, read-only inputs — nothing is re-translated or
+    /// re-assembled per platform, which is what makes per-candidate setup
+    /// in a design-space sweep (src/sweep/) cheap and lets many threads
+    /// inject the same set concurrently.
+    void load_tg_binaries(const std::vector<tg::AssembledTg>& binaries,
+                          const apps::Workload& context);
+
     /// Instantiates stochastic traffic generators (the related-work baseline
     /// of paper Sec. 2); one config per core.
     void load_stochastic(const std::vector<tg::StochasticConfig>& configs,
@@ -122,6 +131,9 @@ public:
     [[nodiscard]] const PlatformConfig& config() const noexcept { return cfg_; }
     [[nodiscard]] sim::Kernel& kernel() noexcept { return kernel_; }
     [[nodiscard]] ic::Interconnect& interconnect() { return *ic_; }
+    /// Const plumbing so read-only consumers (sweep result harvesting,
+    /// checks) can take `const Platform&`.
+    [[nodiscard]] const ic::Interconnect& interconnect() const { return *ic_; }
     [[nodiscard]] mem::MemorySlave& private_mem(u32 core) { return *privs_.at(core); }
     [[nodiscard]] mem::MemorySlave& shared_mem() { return *shared_; }
     [[nodiscard]] mem::SemaphoreDevice& semaphores() { return *sems_; }

@@ -1,0 +1,346 @@
+#include "sweep/sweep.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace tgsim::sweep {
+
+u32 resolve_jobs(u32 jobs, std::size_t n_candidates) {
+    if (jobs == 0) jobs = std::thread::hardware_concurrency();
+    if (jobs == 0) jobs = 1;
+    if (jobs > n_candidates && n_candidates > 0)
+        jobs = static_cast<u32>(n_candidates);
+    return jobs;
+}
+
+bool bit_identical(const SweepResult& a, const SweepResult& b) {
+    return a.name == b.name && a.fabric == b.fabric && a.index == b.index &&
+           a.error == b.error && a.failure == b.failure &&
+           a.completed == b.completed &&
+           a.checks_ok == b.checks_ok && a.cycles == b.cycles &&
+           a.per_core == b.per_core &&
+           a.total_instructions == b.total_instructions &&
+           a.busy_cycles == b.busy_cycles &&
+           a.contention_cycles == b.contention_cycles &&
+           a.busy_pct == b.busy_pct && a.has_cpu_truth == b.has_cpu_truth &&
+           a.cpu_completed == b.cpu_completed && a.cpu_cycles == b.cpu_cycles &&
+           a.err_pct == b.err_pct;
+}
+
+u64 derive_seed(u64 base, u32 candidate_index, u32 core) {
+    // splitmix64 finalizer over a mix that keeps (candidate, core) pairs
+    // distinct; the +1 biases keep index 0 / core 0 away from the identity.
+    u64 x = base ^ (0x9E3779B97F4A7C15ull * (u64{candidate_index} + 1)) ^
+            (0xBF58476D1CE4E5B9ull * (u64{core} + 1));
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return x;
+}
+
+std::string describe_fabric(const platform::PlatformConfig& cfg) {
+    switch (cfg.ic) {
+        case platform::IcKind::Amba:
+            return cfg.arbitration == ic::Arbitration::RoundRobin
+                       ? "amba rr"
+                       : "amba fixed-prio";
+        case platform::IcKind::Crossbar:
+            return "crossbar";
+        case platform::IcKind::Xpipes: {
+            char buf[48];
+            if (cfg.xpipes.width == 0 || cfg.xpipes.height == 0)
+                std::snprintf(buf, sizeof buf, "xpipes auto fifo%u",
+                              cfg.xpipes.fifo_depth);
+            else
+                std::snprintf(buf, sizeof buf, "xpipes %ux%u fifo%u",
+                              cfg.xpipes.width, cfg.xpipes.height,
+                              cfg.xpipes.fifo_depth);
+            return buf;
+        }
+    }
+    return "?";
+}
+
+std::vector<Candidate> make_grid(const GridSpec& spec) {
+    std::vector<Candidate> out;
+    const auto add = [&](platform::PlatformConfig cfg) {
+        Candidate c;
+        c.cfg = std::move(cfg);
+        c.name = describe_fabric(c.cfg);
+        out.push_back(std::move(c));
+    };
+    if (spec.amba_round_robin) {
+        platform::PlatformConfig cfg = spec.base;
+        cfg.ic = platform::IcKind::Amba;
+        cfg.arbitration = ic::Arbitration::RoundRobin;
+        add(cfg);
+    }
+    if (spec.amba_fixed_priority) {
+        platform::PlatformConfig cfg = spec.base;
+        cfg.ic = platform::IcKind::Amba;
+        cfg.arbitration = ic::Arbitration::FixedPriority;
+        add(cfg);
+    }
+    if (spec.crossbar) {
+        platform::PlatformConfig cfg = spec.base;
+        cfg.ic = platform::IcKind::Crossbar;
+        add(cfg);
+    }
+    for (const ic::XpipesConfig& mesh : spec.meshes) {
+        platform::PlatformConfig cfg = spec.base;
+        cfg.ic = platform::IcKind::Xpipes;
+        cfg.xpipes = mesh;
+        add(cfg);
+    }
+    return out;
+}
+
+namespace {
+
+/// Appends `s` as a quoted JSON string, escaping quotes, backslashes and
+/// control characters (exception messages can carry newlines). Unbounded
+/// length — candidate names and error strings must never truncate the
+/// report into invalid JSON.
+void append_string(std::string& out, const std::string& s) {
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned char>(c));
+                    out += buf;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    out.push_back('"');
+}
+
+/// printf-style append for the numeric/bool fragments (bounded by
+/// construction; strings go through append_string).
+void append(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append(std::string& out, const char* fmt, ...) {
+    char buf[128];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+} // namespace
+
+std::string json_report(const std::vector<SweepResult>& results,
+                        const SweepMeta& meta) {
+    std::string out;
+    out += "{\n  \"sweep\": {\"app\": ";
+    append_string(out, meta.app);
+    append(out, ", \"cores\": %u, \"jobs\": %u", meta.n_cores, meta.jobs);
+    append(out, ", \"max_cycles\": %llu},\n  \"candidates\": [",
+           static_cast<unsigned long long>(meta.max_cycles));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const SweepResult& r = results[i];
+        out += i ? ",\n    {" : "\n    {";
+        out += "\"name\": ";
+        append_string(out, r.name);
+        out += ", \"fabric\": ";
+        append_string(out, r.fabric);
+        append(out, ", \"index\": %u", r.index);
+        append(out, ", \"ok\": %s, \"error\": ", r.ok() ? "true" : "false");
+        append_string(out, r.error);
+        append(out, ", \"completed\": %s, \"checks_ok\": %s",
+               r.completed ? "true" : "false", r.checks_ok ? "true" : "false");
+        append(out, ", \"cycles\": %llu, \"busy_cycles\": %llu",
+               static_cast<unsigned long long>(r.cycles),
+               static_cast<unsigned long long>(r.busy_cycles));
+        append(out, ", \"contention_cycles\": %llu, \"busy_pct\": %.4f",
+               static_cast<unsigned long long>(r.contention_cycles),
+               r.busy_pct);
+        append(out, ", \"total_instructions\": %llu, \"wall_seconds\": %.6f",
+               static_cast<unsigned long long>(r.total_instructions),
+               r.wall_seconds);
+        if (r.has_cpu_truth)
+            append(out,
+                   ", \"cpu_completed\": %s, \"cpu_cycles\": %llu"
+                   ", \"cpu_wall_seconds\": %.6f, \"err_pct\": %.4f",
+                   r.cpu_completed ? "true" : "false",
+                   static_cast<unsigned long long>(r.cpu_cycles),
+                   r.cpu_wall_seconds, r.err_pct);
+        out += "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+bool write_json_report(const std::vector<SweepResult>& results,
+                       const SweepMeta& meta, const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "WARN: cannot write %s\n", path.c_str());
+        return false;
+    }
+    const std::string text = json_report(results, meta);
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    if (std::fclose(f) != 0 || !ok) {
+        std::fprintf(stderr, "WARN: short write to %s\n", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+SweepDriver::SweepDriver(const std::vector<tg::TgProgram>& programs,
+                         apps::Workload context)
+    : SweepDriver(tg::assemble_all(programs), std::move(context)) {}
+
+SweepDriver::SweepDriver(std::vector<tg::AssembledTg> binaries,
+                         apps::Workload context)
+    : n_cores_(static_cast<u32>(binaries.size())),
+      binaries_(std::move(binaries)),
+      context_(std::move(context)) {
+    if (n_cores_ == 0)
+        throw std::invalid_argument{"SweepDriver: empty TG payload"};
+}
+
+SweepDriver::SweepDriver(std::vector<tg::StochasticConfig> configs,
+                         apps::Workload context)
+    : n_cores_(static_cast<u32>(configs.size())),
+      stochastic_(std::move(configs)),
+      context_(std::move(context)) {
+    if (n_cores_ == 0)
+        throw std::invalid_argument{"SweepDriver: empty stochastic payload"};
+}
+
+SweepResult SweepDriver::evaluate(const Candidate& cand, u32 index,
+                                  const SweepOptions& opts) const {
+    SweepResult r;
+    r.name = cand.name;
+    r.index = index;
+    try {
+        platform::PlatformConfig cfg = cand.cfg;
+        cfg.n_cores = n_cores_;
+        cfg.collect_traces = false;
+        cfg.done_check_interval = opts.done_check_interval;
+        r.fabric = describe_fabric(cfg);
+
+        platform::Platform p{cfg};
+        if (!binaries_.empty()) {
+            p.load_tg_binaries(binaries_, context_);
+        } else {
+            std::vector<tg::StochasticConfig> seeded = stochastic_;
+            for (u32 core = 0; core < n_cores_; ++core)
+                seeded[core].seed = derive_seed(opts.seed, index, core);
+            p.load_stochastic(seeded, context_);
+        }
+        const platform::RunResult res = p.run(opts.max_cycles);
+        r.completed = res.completed;
+        r.cycles = res.cycles;
+        r.per_core = res.per_core;
+        r.total_instructions = res.total_instructions;
+        r.wall_seconds = res.wall_seconds;
+        r.busy_cycles = p.interconnect().busy_cycles();
+        r.contention_cycles = p.interconnect().contention_cycles();
+        if (res.completed && res.cycles > 0)
+            r.busy_pct = 100.0 * static_cast<double>(r.busy_cycles) /
+                         static_cast<double>(res.cycles);
+        if (!res.completed) {
+            r.error = "timeout/livelock within the cycle budget";
+            r.failure = FailureKind::Timeout;
+        } else if (opts.run_checks && !binaries_.empty()) {
+            std::string msg;
+            r.checks_ok = p.run_checks(context_, &msg);
+            if (!r.checks_ok) {
+                r.error = msg;
+                r.failure = FailureKind::ChecksFailed;
+            }
+        } else {
+            r.checks_ok = true; // nothing to check (stochastic payload)
+        }
+
+        if (opts.with_cpu_truth) {
+            r.has_cpu_truth = true;
+            // Isolated so a failure of the ground-truth half never clobbers
+            // the TG result (or demotes an already-recorded TG failure).
+            try {
+                platform::Platform cpu{cfg};
+                cpu.load_workload(context_);
+                const platform::RunResult truth = cpu.run(opts.max_cycles);
+                r.cpu_completed = truth.completed;
+                r.cpu_cycles = truth.cycles;
+                r.cpu_wall_seconds = truth.wall_seconds;
+                if (r.completed && truth.completed && truth.cycles > 0)
+                    r.err_pct = 100.0 *
+                                (static_cast<double>(r.cycles) -
+                                 static_cast<double>(truth.cycles)) /
+                                static_cast<double>(truth.cycles);
+            } catch (const std::exception& e) {
+                if (r.failure == FailureKind::None) {
+                    r.error = std::string{"cpu truth: "} + e.what();
+                    r.failure = FailureKind::SetupError;
+                }
+            } catch (...) {
+                if (r.failure == FailureKind::None) {
+                    r.error = "cpu truth: unknown exception";
+                    r.failure = FailureKind::SetupError;
+                }
+            }
+        }
+    } catch (const std::exception& e) {
+        r.error = e.what();
+        r.failure = FailureKind::SetupError;
+    } catch (...) {
+        // A non-std exception escaping the worker thread would terminate
+        // the whole sweep; the never-aborts contract says failures are
+        // per-candidate results.
+        r.error = "unknown exception";
+        r.failure = FailureKind::SetupError;
+    }
+    return r;
+}
+
+std::vector<SweepResult> SweepDriver::run(
+    const std::vector<Candidate>& candidates, const SweepOptions& opts) const {
+    std::vector<SweepResult> results(candidates.size());
+    if (candidates.empty()) return results;
+
+    const u32 jobs = resolve_jobs(opts.jobs, candidates.size());
+
+    // Dynamic work-stealing over an atomic cursor: candidates vary wildly
+    // in cost (a livelocked fabric runs to the full cycle budget), so a
+    // static partition would leave workers idle. Each result lands in its
+    // candidate's slot — aggregation order never depends on scheduling.
+    std::atomic<u32> next{0};
+    const auto work = [&] {
+        for (u32 i; (i = next.fetch_add(1, std::memory_order_relaxed)) <
+                    candidates.size();)
+            results[i] = evaluate(candidates[i], i, opts);
+    };
+
+    if (jobs == 1) {
+        work(); // inline: no thread, debugger- and TSan-baseline-friendly
+        return results;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (u32 t = 0; t < jobs; ++t) pool.emplace_back(work);
+    for (std::thread& t : pool) t.join();
+    return results;
+}
+
+} // namespace tgsim::sweep

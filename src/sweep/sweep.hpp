@@ -1,0 +1,190 @@
+// Parallel design-space exploration driver — the paper's headline use case
+// made to scale with cores.
+//
+// The methodology is: trace once, translate once, then evaluate many
+// candidate fabrics with the cheap TG platform. Every candidate evaluation
+// is an independent simulation, and since the SoA ChannelStore a Platform
+// owns ALL of its wire state, candidates can run concurrently with no
+// sharing at all. SweepDriver holds the shared read-only inputs (the
+// pre-assembled TG binaries or stochastic base configs, plus the workload
+// context), fans the candidate list out across a fixed-size worker pool,
+// and aggregates per-candidate results in deterministic candidate order.
+//
+// Share-nothing contract (docs/sweep.md): a worker constructs, loads, runs
+// and destroys its Platform entirely inside the worker thread; the only
+// cross-thread data are the driver's immutable inputs and the worker's
+// SweepResult slot (disjoint per candidate). Results are bit-identical for
+// any worker count — see bit_identical().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "platform/platform.hpp"
+#include "tg/program.hpp"
+#include "tg/stochastic.hpp"
+
+namespace tgsim::sweep {
+
+/// One point in the design space: a named platform configuration. Core
+/// count, trace collection and poll interval are owned by the driver; the
+/// candidate varies the fabric and timing knobs.
+struct Candidate {
+    std::string name;
+    platform::PlatformConfig cfg;
+};
+
+struct SweepOptions {
+    /// Worker threads; 0 = std::thread::hardware_concurrency(). Clamped to
+    /// the candidate count. jobs == 1 runs inline on the calling thread.
+    u32 jobs = 0;
+    Cycle max_cycles = 100'000'000;
+    Cycle done_check_interval = 1024;
+    /// Also run a cycle-true CPU platform per candidate (ground truth
+    /// column); requires the context workload to carry per-core code.
+    bool with_cpu_truth = false;
+    /// Verify the workload's memory checks after each TG replay (skipped
+    /// for stochastic payloads, which do not compute the workload).
+    bool run_checks = true;
+    /// Base for per-candidate stochastic reseeding (see derive_seed()).
+    u64 seed = 0x5EEDBA5Eu;
+};
+
+/// How a candidate failed. The three kinds mean very different things to a
+/// consumer: a Timeout is usually a *finding* (the fabric livelocks the
+/// workload), a ChecksFailed is always a replay-correctness *bug*, and a
+/// SetupError is a bad candidate config. Surfaces branch on this instead of
+/// re-deriving the kind from cycles/error text.
+enum class FailureKind : u8 {
+    None,         ///< candidate evaluated cleanly
+    SetupError,   ///< construction/load threw before or during the run
+    Timeout,      ///< ran but did not complete within the cycle budget
+    ChecksFailed, ///< completed but left workload memory wrong
+};
+
+/// Everything measured on one candidate. All fields except the wall times
+/// are pure functions of (payload, candidate config, options) — never of
+/// worker count or scheduling — which is what bit_identical() checks.
+struct SweepResult {
+    std::string name;
+    std::string fabric; ///< describe_fabric() of the evaluated config
+    u32 index = 0;      ///< candidate index (results keep submission order)
+    /// Non-empty when the candidate failed (failure != None): construction
+    /// threw, the run timed out / livelocked, or the post-run checks
+    /// mismatched. A failed candidate never aborts the sweep; it is
+    /// reported like any other.
+    std::string error;
+    FailureKind failure = FailureKind::None;
+    bool completed = false;
+    bool checks_ok = false;
+    Cycle cycles = 0; ///< completion time (paper's metric), from halt cycles
+    std::vector<Cycle> per_core;
+    u64 total_instructions = 0;
+    u64 busy_cycles = 0;
+    u64 contention_cycles = 0;
+    double busy_pct = 0.0;
+    double wall_seconds = 0.0;
+
+    /// CPU ground truth (valid when SweepOptions::with_cpu_truth).
+    bool has_cpu_truth = false;
+    bool cpu_completed = false;
+    Cycle cpu_cycles = 0;
+    double cpu_wall_seconds = 0.0;
+    double err_pct = 0.0; ///< TG vs CPU completion-time error, percent
+
+    [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+/// The worker count run() will actually use: `jobs` (0 = hardware
+/// concurrency, minimum 1) clamped to the candidate count.
+[[nodiscard]] u32 resolve_jobs(u32 jobs, std::size_t n_candidates);
+
+/// True when the simulated outcomes match exactly (everything except the
+/// wall-clock fields, which legitimately vary run to run). The sweep
+/// invariant: results at --jobs 1 and --jobs N are bit_identical.
+[[nodiscard]] bool bit_identical(const SweepResult& a, const SweepResult& b);
+
+/// Deterministic per-candidate, per-core RNG seed: a splitmix64-style mix
+/// of (base, candidate_index, core). Derived from the candidate's position
+/// in the sweep — never from global state or evaluation order — so
+/// stochastic sweeps are bit-identical at any worker count.
+[[nodiscard]] u64 derive_seed(u64 base, u32 candidate_index, u32 core);
+
+/// Human-readable fabric description, e.g. "amba rr", "crossbar",
+/// "xpipes 3x3 fifo4".
+[[nodiscard]] std::string describe_fabric(const platform::PlatformConfig& cfg);
+
+/// Candidate grid over the fabric axes the paper explores: AMBA under both
+/// arbitration policies, the crossbar, and one candidate per ×pipes mesh
+/// shape. `base` supplies every non-fabric knob (timings, caches, ...).
+struct GridSpec {
+    platform::PlatformConfig base;
+    bool amba_round_robin = true;
+    bool amba_fixed_priority = true;
+    bool crossbar = true;
+    std::vector<ic::XpipesConfig> meshes;
+};
+
+[[nodiscard]] std::vector<Candidate> make_grid(const GridSpec& spec);
+
+/// Report header recorded alongside the per-candidate rows.
+struct SweepMeta {
+    std::string app;
+    u32 n_cores = 0;
+    u32 jobs = 0;
+    Cycle max_cycles = 0;
+};
+
+/// Machine-readable JSON report (deterministic field order; wall-clock
+/// fields are the only nondeterministic values).
+[[nodiscard]] std::string json_report(const std::vector<SweepResult>& results,
+                                      const SweepMeta& meta);
+/// Returns false (after a stderr WARN) when the file cannot be written —
+/// callers surface that as a nonzero exit so scripted consumers never key
+/// off a report that does not exist.
+[[nodiscard]] bool write_json_report(const std::vector<SweepResult>& results,
+                                     const SweepMeta& meta,
+                                     const std::string& path);
+
+/// Evaluates candidate fabrics against one fixed payload.
+///
+/// The payload — TG programs (assembled once at construction) or
+/// stochastic base configs — and the workload context are immutable for
+/// the driver's lifetime; run() is const and thread-safe.
+class SweepDriver {
+public:
+    /// TG payload: pre-translated programs, assembled once here. Workers
+    /// inject the shared binaries (no re-translation, no re-assembly).
+    SweepDriver(const std::vector<tg::TgProgram>& programs,
+                apps::Workload context);
+
+    /// Pre-assembled TG payload (e.g. loaded from .bin files).
+    SweepDriver(std::vector<tg::AssembledTg> binaries, apps::Workload context);
+
+    /// Stochastic payload (related-work baseline sweeps). The per-config
+    /// `seed` fields are ignored; workers reseed each candidate from
+    /// derive_seed(options.seed, candidate_index, core).
+    SweepDriver(std::vector<tg::StochasticConfig> configs,
+                apps::Workload context);
+
+    /// Evaluates every candidate, `opts.jobs` at a time, one Platform
+    /// constructed/run/destroyed per worker iteration. Returns one result
+    /// per candidate, in candidate order, regardless of completion order.
+    [[nodiscard]] std::vector<SweepResult> run(
+        const std::vector<Candidate>& candidates,
+        const SweepOptions& opts = {}) const;
+
+    [[nodiscard]] u32 n_cores() const noexcept { return n_cores_; }
+
+private:
+    [[nodiscard]] SweepResult evaluate(const Candidate& cand, u32 index,
+                                       const SweepOptions& opts) const;
+
+    u32 n_cores_ = 0;
+    std::vector<tg::AssembledTg> binaries_;       ///< TG payload (if any)
+    std::vector<tg::StochasticConfig> stochastic_; ///< stochastic payload
+    apps::Workload context_;
+};
+
+} // namespace tgsim::sweep

@@ -385,6 +385,20 @@ std::vector<u32> assemble(const TgProgram& prog) {
     return image;
 }
 
+AssembledTg assemble_tg(const TgProgram& prog) {
+    AssembledTg out;
+    out.image = assemble(prog);
+    out.reg_init.assign(prog.reg_init.begin(), prog.reg_init.end());
+    return out;
+}
+
+std::vector<AssembledTg> assemble_all(const std::vector<TgProgram>& progs) {
+    std::vector<AssembledTg> out;
+    out.reserve(progs.size());
+    for (const TgProgram& p : progs) out.push_back(assemble_tg(p));
+    return out;
+}
+
 TgProgram disassemble(const std::vector<u32>& image) {
     TgProgram prog;
     std::map<u32, u32> word_to_index; // word offset -> instruction index

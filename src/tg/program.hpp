@@ -24,6 +24,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tg/tg_isa.hpp"
@@ -67,6 +68,21 @@ struct TgProgram {
 /// Lowers to the binary word image executed by TgCore. Branch targets are
 /// resolved from instruction indices to word addresses.
 [[nodiscard]] std::vector<u32> assemble(const TgProgram& prog);
+
+/// A program lowered once to everything a TgCore needs at load time: the
+/// binary image plus the register presets (which are not part of the image).
+/// Design-space sweeps assemble each program once and inject the same
+/// read-only AssembledTg set into every candidate platform — no
+/// per-candidate re-translation or re-assembly. Core assignment is purely
+/// positional (element i loads onto core i), same as the TgProgram path.
+struct AssembledTg {
+    std::vector<u32> image;
+    std::vector<std::pair<u8, u32>> reg_init;
+};
+
+[[nodiscard]] AssembledTg assemble_tg(const TgProgram& prog);
+[[nodiscard]] std::vector<AssembledTg> assemble_all(
+    const std::vector<TgProgram>& progs);
 
 /// Recovers a TgProgram from a binary image (labels regenerated as L<n>).
 /// Register initialisation is not part of the image and comes back empty.

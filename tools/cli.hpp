@@ -69,6 +69,35 @@ inline std::optional<apps::Workload> make_workload(const std::string& app,
     return std::nullopt;
 }
 
+/// Per-app default --size, shared by every tool that runs a benchmark.
+inline u32 default_size(const std::string& app) {
+    if (app == "cacheloop") return 100000;
+    if (app == "des") return 16;
+    return 24;
+}
+
+/// Shared sweep-style flags, parsed in one place so tgsim_sweep and the
+/// other tools cannot grow drifting copies:
+///   --jobs=N    worker threads; 0 or absent = one per hardware thread
+///   --json=PATH machine-readable report destination; empty = stdout only
+inline u32 get_jobs(const Args& args) {
+    return static_cast<u32>(args.get_u64("jobs", 0));
+}
+
+inline std::string json_path(const Args& args) { return args.get("json", ""); }
+
+/// Splits a comma-separated flag value ("2,4,8" -> {"2","4","8"}); empty
+/// input yields no elements.
+inline std::vector<std::string> split_list(const std::string& value) {
+    std::vector<std::string> out;
+    std::istringstream ss{value};
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+        if (!tok.empty()) out.push_back(tok);
+    }
+    return out;
+}
+
 inline std::optional<platform::IcKind> parse_ic(const std::string& name) {
     if (name == "amba") return platform::IcKind::Amba;
     if (name == "crossbar") return platform::IcKind::Crossbar;

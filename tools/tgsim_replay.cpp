@@ -1,17 +1,20 @@
 // tgsim-replay — TG-platform simulation driver (the exploration half of the
 // paper's flow).
 //
-//   tgsim-replay core0.tgp core1.tgp ... --ic=xpipes 
+//   tgsim-replay core0.tgp core1.tgp ... --ic=xpipes
 //       [--app=mp_matrix --cores=N --size=S]   (environment + result checks)
-//       [--no-skip] [--max-cycles=N]
+//       [--no-skip] [--max-cycles=N] [--json=PATH]
 //
 // Loads one .tgp program per core onto a TG platform with the chosen
 // interconnect. With --app the shared-memory environment of the named
 // benchmark is initialised first and its result checks run afterwards —
-// a TG replay must leave memory exactly as the reference run did.
+// a TG replay must leave memory exactly as the reference run did. A replay
+// is a one-candidate sweep, so it shares the sweep driver's evaluation and
+// --json report format (docs/sweep.md).
 #include <cstdio>
 
 #include "cli.hpp"
+#include "sweep/sweep.hpp"
 #include "tg/program.hpp"
 
 using namespace tgsim;
@@ -37,7 +40,8 @@ int main(int argc, char** argv) {
     if (args.has("app")) {
         const auto w = cli::make_workload(
             args.get("app"), static_cast<u32>(args.get_u64("cores", programs.size())),
-            static_cast<u32>(args.get_u64("size", 24)));
+            static_cast<u32>(
+                args.get_u64("size", cli::default_size(args.get("app")))));
         if (!w) {
             std::fprintf(stderr, "unknown --app\n");
             return 1;
@@ -48,38 +52,57 @@ int main(int argc, char** argv) {
         env.cores.resize(programs.size());
     }
 
-    platform::PlatformConfig cfg;
-    cfg.n_cores = static_cast<u32>(programs.size());
-    cfg.ic = *ic;
-    cfg.done_check_interval = 1024;
+    sweep::Candidate cand;
+    cand.cfg.ic = *ic;
     if (args.has("no-skip")) { // fully clocked kernel (paper-faithful costs)
-        cfg.kernel_gating = false;
-        cfg.max_idle_skip = 0;
+        cand.cfg.kernel_gating = false;
+        cand.cfg.max_idle_skip = 0;
+    }
+    cand.name = sweep::describe_fabric(cand.cfg);
+
+    sweep::SweepDriver driver{programs, env};
+    sweep::SweepOptions opts;
+    opts.jobs = 1;
+    opts.max_cycles = args.get_u64("max-cycles", 600'000'000);
+    const sweep::SweepResult r = driver.run({cand}, opts).at(0);
+
+    // The report records failures too (ok:false rows, same as tgsim_sweep),
+    // so scripted consumers always find the file after a run.
+    const std::string json = cli::json_path(args);
+    if (!json.empty()) {
+        sweep::SweepMeta meta;
+        meta.app = args.get("app", "");
+        meta.n_cores = driver.n_cores();
+        meta.jobs = 1;
+        meta.max_cycles = opts.max_cycles;
+        if (!sweep::write_json_report({r}, meta, json)) {
+            std::fprintf(stderr, "failed to write %s\n", json.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", json.c_str());
     }
 
-    platform::Platform p{cfg};
-    p.load_tg_programs(programs, env);
-    const auto res = p.run(args.get_u64("max-cycles", 600'000'000));
-    if (!res.completed) {
-        std::fprintf(stderr, "did not complete within the cycle budget\n");
+    if (!r.completed) {
+        // r.error distinguishes a genuine timeout/livelock from a setup
+        // failure (bad environment, impossible fabric) caught in the worker.
+        std::fprintf(stderr, "replay failed: %s\n", r.error.c_str());
         return 1;
     }
     std::printf("ic=%s cores=%u\n",
-                std::string(platform::to_string(*ic)).c_str(), cfg.n_cores);
+                std::string(platform::to_string(*ic)).c_str(),
+                driver.n_cores());
     std::printf("execution: %llu cycles; simulated in %.3f s wall\n",
-                static_cast<unsigned long long>(res.cycles), res.wall_seconds);
-    for (u32 i = 0; i < cfg.n_cores; ++i)
+                static_cast<unsigned long long>(r.cycles), r.wall_seconds);
+    for (u32 i = 0; i < driver.n_cores(); ++i)
         std::printf("  core %u halted @%llu\n", i,
-                    static_cast<unsigned long long>(res.per_core[i]));
+                    static_cast<unsigned long long>(r.per_core[i]));
     std::printf("interconnect: %llu busy cycles, %llu contention cycles\n",
-                static_cast<unsigned long long>(p.interconnect().busy_cycles()),
-                static_cast<unsigned long long>(
-                    p.interconnect().contention_cycles()));
+                static_cast<unsigned long long>(r.busy_cycles),
+                static_cast<unsigned long long>(r.contention_cycles));
     if (have_checks) {
-        std::string msg;
-        const bool ok = p.run_checks(env, &msg);
-        std::printf("checks: %s%s\n", ok ? "PASS" : "FAIL ", ok ? "" : msg.c_str());
-        return ok ? 0 : 1;
+        std::printf("checks: %s%s\n", r.checks_ok ? "PASS" : "FAIL ",
+                    r.checks_ok ? "" : r.error.c_str());
+        return r.checks_ok ? 0 : 1;
     }
     return 0;
 }

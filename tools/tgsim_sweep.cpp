@@ -1,0 +1,170 @@
+// tgsim-sweep — parallel design-space exploration driver (the paper's
+// headline use case, fanned across a worker pool).
+//
+//   tgsim-sweep --app=mp_matrix --cores=6 --size=24
+//               [--jobs=N] [--json=PATH] [--max-cycles=N]
+//               [--mesh=auto,8x1,3x3] [--fifo=2,4,8]
+//               [--no-fixed-prio] [--cpu-truth]
+//
+// Runs the reference simulation once (cycle-true cores on AMBA, traced),
+// translates the traces once, then evaluates a candidate grid — AMBA under
+// both arbitration policies, the crossbar, and one candidate per ×pipes
+// mesh shape × FIFO depth — with the TG platform, --jobs candidates at a
+// time. Per-candidate results are deterministic and independent of --jobs
+// (see docs/sweep.md). --json writes the machine-readable report;
+// --cpu-truth adds a (much slower) cycle-true ground-truth column.
+#include <cstdio>
+
+#include "cli.hpp"
+#include "sweep/sweep.hpp"
+
+using namespace tgsim;
+
+namespace {
+
+/// Parses one --mesh element: "auto" (dimensions chosen by the platform)
+/// or "WxH", e.g. "3x3".
+std::optional<ic::XpipesConfig> parse_mesh(const std::string& spec,
+                                           u32 fifo_depth) {
+    ic::XpipesConfig mesh{0, 0, fifo_depth};
+    if (spec == "auto") return mesh;
+    const auto x = spec.find('x');
+    if (x == std::string::npos || x == 0 || x + 1 == spec.size())
+        return std::nullopt;
+    char* end = nullptr;
+    mesh.width = static_cast<u32>(std::strtoul(spec.c_str(), &end, 10));
+    if (end != spec.c_str() + x) return std::nullopt;
+    mesh.height =
+        static_cast<u32>(std::strtoul(spec.c_str() + x + 1, &end, 10));
+    if (*end != '\0') return std::nullopt; // reject trailing junk ("3x2x2")
+    if (mesh.width == 0 || mesh.height == 0) return std::nullopt;
+    return mesh;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const cli::Args args{argc, argv};
+    const std::string app = args.get("app", "mp_matrix");
+    const u32 cores = static_cast<u32>(args.get_u64("cores", 6));
+    const u32 size =
+        static_cast<u32>(args.get_u64("size", cli::default_size(app)));
+    const Cycle max_cycles = args.get_u64("max-cycles", 100'000'000);
+
+    const auto workload = cli::make_workload(app, cores, size);
+    if (!workload) {
+        std::fprintf(stderr,
+                     "unknown --app (cacheloop|sp_matrix|mp_matrix|des)\n");
+        return 1;
+    }
+
+    // --- candidate grid (parsed before the expensive reference run, so a
+    // flag typo fails in milliseconds, not after minutes of simulation) ---
+    sweep::GridSpec grid;
+    grid.amba_fixed_priority = !args.has("no-fixed-prio");
+    std::vector<std::string> meshes =
+        cli::split_list(args.get("mesh", "auto,8x1,3x3"));
+    std::vector<std::string> fifos = cli::split_list(args.get("fifo", "4"));
+    for (const std::string& f : fifos) {
+        const u32 depth = static_cast<u32>(std::strtoul(f.c_str(), nullptr, 10));
+        if (depth == 0) {
+            std::fprintf(stderr, "bad --fifo depth '%s'\n", f.c_str());
+            return 1;
+        }
+        for (const std::string& m : meshes) {
+            const auto mesh = parse_mesh(m, depth);
+            if (!mesh) {
+                std::fprintf(stderr, "bad --mesh spec '%s' (auto|WxH)\n",
+                             m.c_str());
+                return 1;
+            }
+            grid.meshes.push_back(*mesh);
+        }
+    }
+    const std::vector<sweep::Candidate> candidates = sweep::make_grid(grid);
+
+    // --- one reference simulation, traced ---
+    platform::PlatformConfig ref_cfg;
+    ref_cfg.n_cores = static_cast<u32>(workload->cores.size());
+    ref_cfg.ic = platform::IcKind::Amba;
+    ref_cfg.collect_traces = true;
+    platform::Platform ref{ref_cfg};
+    ref.load_workload(*workload);
+    const auto ref_res = ref.run(max_cycles);
+    std::string msg;
+    if (!ref_res.completed || !ref.run_checks(*workload, &msg)) {
+        std::fprintf(stderr, "reference run failed: %s\n",
+                     ref_res.completed ? msg.c_str() : "did not complete");
+        return 1;
+    }
+    std::printf("reference (cores on AMBA): %llu cycles, %.3f s wall\n",
+                static_cast<unsigned long long>(ref_res.cycles),
+                ref_res.wall_seconds);
+
+    // --- one translation ---
+    tg::TranslateOptions topt;
+    topt.polls = workload->polls;
+    std::vector<tg::TgProgram> programs;
+    for (const auto& t : ref.traces())
+        programs.push_back(tg::translate(t, topt).program);
+
+    // --- parallel evaluation ---
+    sweep::SweepDriver driver{programs, *workload};
+    sweep::SweepOptions opts;
+    opts.jobs = cli::get_jobs(args);
+    opts.max_cycles = max_cycles;
+    opts.with_cpu_truth = args.has("cpu-truth");
+    const u32 jobs = sweep::resolve_jobs(opts.jobs, candidates.size());
+    sim::WallTimer timer;
+    const std::vector<sweep::SweepResult> results =
+        driver.run(candidates, opts);
+    const double sweep_wall = timer.seconds();
+
+    std::printf("evaluated %zu candidates in %.3f s wall (%u workers)\n\n",
+                results.size(), sweep_wall, jobs);
+    std::printf("%-20s %12s %9s %10s %8s%s\n", "candidate", "TG cycles",
+                "busy%", "contention", "wall s",
+                opts.with_cpu_truth ? "    CPU truth   TG err" : "");
+    bool replay_bug = false;
+    for (const sweep::SweepResult& r : results) {
+        if (r.failure == sweep::FailureKind::ChecksFailed) {
+            // A completed replay that corrupts workload memory is a
+            // correctness bug, not a design finding — fail the invocation
+            // so CI smoke grids catch it.
+            std::printf("%-20s CHECKS FAILED: %s\n", r.name.c_str(),
+                        r.error.c_str());
+            replay_bug = true;
+            continue;
+        }
+        if (!r.ok()) {
+            std::printf("%-20s REJECTED: %s\n", r.name.c_str(),
+                        r.error.c_str());
+            continue;
+        }
+        std::printf("%-20s %12llu %8.1f%% %10llu %8.3f", r.name.c_str(),
+                    static_cast<unsigned long long>(r.cycles), r.busy_pct,
+                    static_cast<unsigned long long>(r.contention_cycles),
+                    r.wall_seconds);
+        if (r.has_cpu_truth)
+            std::printf(" %12llu %+7.2f%%",
+                        static_cast<unsigned long long>(r.cpu_cycles),
+                        r.err_pct);
+        std::printf("\n");
+    }
+
+    const std::string json = cli::json_path(args);
+    if (!json.empty()) {
+        sweep::SweepMeta meta;
+        meta.app = app;
+        meta.n_cores = driver.n_cores();
+        meta.jobs = jobs;
+        meta.max_cycles = max_cycles;
+        if (!sweep::write_json_report(results, meta, json)) {
+            std::fprintf(stderr, "failed to write %s\n", json.c_str());
+            return 1;
+        }
+        std::printf("\nwrote %s (%zu candidates)\n", json.c_str(),
+                    results.size());
+    }
+    return replay_bug ? 1 : 0;
+}
