@@ -1,9 +1,12 @@
 #include "ic/crossbar/crossbar.hpp"
 
+#include <algorithm>
+
 namespace tgsim::ic {
 
 std::size_t Crossbar::connect_master(ocp::ChannelRef ch, int /*node*/) {
     master_busy_.push_back(false);
+    cooldown_.push_back(0);
     stats_.grants.push_back(0);
     stats_.wait_cycles.push_back(0);
     return track_master(ch);
@@ -14,6 +17,7 @@ std::size_t Crossbar::connect_slave(ocp::ChannelRef ch, u32 base, u32 size,
     const std::size_t idx = map_.add_range(base, size);
     slaves_.push_back(SlavePort{});
     slaves_.back().ch = ch;
+    candidates_.emplace_back();
     stats_.slave_transactions.push_back(0);
     return idx;
 }
@@ -28,7 +32,7 @@ void Crossbar::eval() {
     // Masters whose transaction completes during this eval cannot be granted
     // again until next cycle: they are still driving the stale command wires
     // and will only observe the completion in their update phase.
-    std::vector<bool> cooldown(masters.size(), false);
+    std::fill(cooldown_.begin(), cooldown_.end(), u8{0});
 
     // Advance in-flight transactions.
     for (SlavePort& sp : slaves_) {
@@ -36,7 +40,7 @@ void Crossbar::eval() {
         any_active = true;
         if (sp.bridge.eval_cycle()) {
             master_busy_[static_cast<std::size_t>(sp.owner)] = false;
-            cooldown[static_cast<std::size_t>(sp.owner)] = true;
+            cooldown_[static_cast<std::size_t>(sp.owner)] = 1;
             sp.owner = -1;
         }
     }
@@ -44,7 +48,7 @@ void Crossbar::eval() {
         any_active = true;
         if (err_bridge_.eval_cycle()) {
             master_busy_[static_cast<std::size_t>(err_owner_)] = false;
-            cooldown[static_cast<std::size_t>(err_owner_)] = true;
+            cooldown_[static_cast<std::size_t>(err_owner_)] = 1;
             err_owner_ = -1;
         }
     }
@@ -52,11 +56,11 @@ void Crossbar::eval() {
     // Arbitration: per slave, round-robin among masters whose fresh command
     // decodes to that slave and that are not already being served.
     const int n = static_cast<int>(masters.size());
-    std::vector<std::vector<int>> candidates(slaves_.size());
+    for (auto& c : candidates_) c.clear();
     for (int i = 0; i < n; ++i) {
         const auto ui = static_cast<std::size_t>(i);
         const ocp::ChannelRef m = masters[ui];
-        if (m.m_cmd() == ocp::Cmd::Idle || master_busy_[ui] || cooldown[ui])
+        if (m.m_cmd() == ocp::Cmd::Idle || master_busy_[ui] || cooldown_[ui])
             continue;
         const auto slave_idx = map_.decode(m.m_addr());
         if (!slave_idx) {
@@ -73,11 +77,11 @@ void Crossbar::eval() {
             }
             continue;
         }
-        candidates[*slave_idx].push_back(i);
+        candidates_[*slave_idx].push_back(i);
     }
     for (std::size_t sidx = 0; sidx < slaves_.size(); ++sidx) {
         SlavePort& sp = slaves_[sidx];
-        const auto& req = candidates[sidx];
+        const auto& req = candidates_[sidx];
         if (req.empty()) continue;
         if (sp.bridge.active()) {
             for (const int i : req)

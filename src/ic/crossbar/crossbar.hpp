@@ -55,6 +55,12 @@ private:
 
     std::vector<bool> master_busy_; ///< master has a transaction in flight
     std::vector<SlavePort> slaves_;
+    /// Per-cycle scratch, hoisted out of eval() so the hot path stays
+    /// allocation-free: masters completing this cycle (sized per master in
+    /// connect_master) and per-slave arbitration candidates (one entry per
+    /// slave, cleared but never shrunk between cycles).
+    std::vector<u8> cooldown_;
+    std::vector<std::vector<int>> candidates_;
     /// Decode-error transactions are flushed by a dedicated bridge.
     Bridge err_bridge_;
     int err_owner_ = -1;

@@ -22,6 +22,10 @@ XpipesNetwork::XpipesNetwork(XpipesConfig cfg) : cfg_(cfg) {
             }
     master_at_node_.assign(node_count(), -1);
     slave_at_node_.assign(node_count(), -1);
+    active_mark_.assign(node_count(), 0);
+    active_.reserve(node_count());
+    scratch_.reserve(node_count());
+    moves_.reserve(16);
 }
 
 std::size_t XpipesNetwork::connect_master(ocp::ChannelRef ch, int node) {
@@ -110,7 +114,8 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
                     ni.st = (ni.beats == ni.burst) ? MasterNi::St::Idle
                                                    : MasterNi::St::CollectWrite;
                 } else {
-                    for (u16 i = 0; i < ni.burst; ++i) ni.rx.push_back(kPoison);
+                    for (u16 i = 0; i < ni.burst; ++i)
+                        ni.rx.push_back(RxBeat{kPoison, true});
                     ni.st = MasterNi::St::AwaitResp;
                 }
                 break;
@@ -136,14 +141,14 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
                 ++flits_active_;
                 ni.beats = 1;
                 if (ni.beats == ni.burst) {
-                    ni.tx.push_back(Flit{Flit::Kind::Tail, 0, {}});
+                    ni.tx.push_back(Flit{Flit::Kind::Tail, false, 0, {}});
                     ++flits_active_;
                     ni.st = MasterNi::St::Idle;
                 } else {
                     ni.st = MasterNi::St::CollectWrite;
                 }
             } else {
-                ni.tx.push_back(Flit{Flit::Kind::Tail, 0, {}});
+                ni.tx.push_back(Flit{Flit::Kind::Tail, false, 0, {}});
                 ++flits_active_;
                 ni.st = MasterNi::St::AwaitResp;
             }
@@ -163,7 +168,7 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
             ++ni.beats;
             if (ni.beats == ni.burst) {
                 if (!ni.err) {
-                    ni.tx.push_back(Flit{Flit::Kind::Tail, 0, {}});
+                    ni.tx.push_back(Flit{Flit::Kind::Tail, false, 0, {}});
                     ++flits_active_;
                 }
                 ni.st = MasterNi::St::Idle;
@@ -173,8 +178,9 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
         }
         case MasterNi::St::AwaitResp: {
             if (ni.rx.empty() || !ch.m_resp_accept()) break;
-            ch.s_resp() = ni.err ? ocp::Resp::Err : ocp::Resp::Dva;
-            ch.s_data() = ni.rx.front();
+            const RxBeat beat = ni.rx.front();
+            ch.s_resp() = beat.err ? ocp::Resp::Err : ocp::Resp::Dva;
+            ch.s_data() = beat.data;
             ch.s_resp_last() = (ni.resp_sent + 1 == ni.burst);
             ch.touch_s();
             ni.rx.pop_front();
@@ -191,7 +197,7 @@ void XpipesNetwork::eval_slave_ni(SlaveNi& ni) {
     ch.tidy_request();
     switch (ni.st) {
         case SlaveNi::St::Idle: {
-            if (!ni.rx_has_packet) break;
+            if (ni.tails_in_rx == 0) break;
             // Pop one whole packet (Head .. Tail).
             ni.hdr = ni.rx.front().hdr;
             ni.rx.pop_front();
@@ -202,9 +208,7 @@ void XpipesNetwork::eval_slave_ni(SlaveNi& ni) {
             }
             // Tail
             ni.rx.pop_front();
-            ni.rx_has_packet = false;
-            for (const Flit& f : ni.rx)
-                if (f.kind == Flit::Kind::Tail) ni.rx_has_packet = true;
+            --ni.tails_in_rx;
             ni.beats_driven = 0;
             ni.beats_resp = 0;
             ni.pending = false;
@@ -254,14 +258,18 @@ void XpipesNetwork::eval_slave_ni(SlaveNi& ni) {
                 ++flits_active_;
                 ++stats_.packets_sent;
             }
+            // An Err beat travels as a poisoned payload with the error flag
+            // set, so the far NI can replay it as Resp::Err instead of
+            // laundering it into ordinary data.
             Flit beat;
             beat.kind = Flit::Kind::Payload;
-            beat.payload = (ch.s_resp() == ocp::Resp::Err) ? kPoison : ch.s_data();
+            beat.err = (ch.s_resp() == ocp::Resp::Err);
+            beat.payload = beat.err ? kPoison : ch.s_data();
             ni.tx.push_back(beat);
             ++flits_active_;
             ++ni.beats_resp;
             if (ni.beats_resp == ni.hdr.burst) {
-                ni.tx.push_back(Flit{Flit::Kind::Tail, 0, {}});
+                ni.tx.push_back(Flit{Flit::Kind::Tail, false, 0, {}});
                 ++flits_active_;
                 ni.st = SlaveNi::St::Idle;
             }
@@ -270,136 +278,159 @@ void XpipesNetwork::eval_slave_ni(SlaveNi& ni) {
     }
 }
 
+void XpipesNetwork::enqueue_router(std::size_t r) {
+    if (active_mark_[r] == active_epoch_) return;
+    active_mark_[r] = active_epoch_;
+    active_.push_back(static_cast<u32>(r));
+}
+
 void XpipesNetwork::inject(std::deque<Flit>& tx, u16 node, int port, int plane) {
     if (tx.empty()) return;
     auto& fifo = routers_[node].in[plane][port];
     if (fifo.size() >= cfg_.fifo_depth) return;
     fifo.push_back(tx.front());
     tx.pop_front();
+    ++routers_[node].occupancy;
+    enqueue_router(node);
     any_activity_ = true;
 }
 
-void XpipesNetwork::eval_routers() {
-    struct Move {
-        std::size_t router = 0;
-        int plane = 0;
-        int in_port = 0;
-        // Destination: either a neighbour router FIFO or a local NI.
-        bool to_ni = false;
-        std::size_t dst_router = 0;
-        int dst_port = 0;
-        int ni_index = 0;
-        bool ni_is_master = false;
-    };
-
-    // Snapshot capacities.
-    const std::size_t n = routers_.size();
-    static thread_local std::vector<u32> sizes;
-    sizes.assign(n * kNumPlanes * kNumPorts, 0);
-    const auto slot = [this](std::size_t r, int p, int port) {
-        return (r * kNumPlanes + static_cast<std::size_t>(p)) * kNumPorts +
-               static_cast<std::size_t>(port);
-    };
-    for (std::size_t r = 0; r < n; ++r)
-        for (int p = 0; p < kNumPlanes; ++p)
-            for (int port = 0; port < kNumPorts; ++port)
-                sizes[slot(r, p, port)] =
-                    static_cast<u32>(routers_[r].in[p][port].size());
-
+void XpipesNetwork::collect_router_moves(std::size_t r) {
+    ++stats_.router_visits;
+    Router& rt = routers_[r];
     const u32 ni_rx_cap = ocp::kMaxBurstLen + 4;
-    std::vector<Move> moves;
-    moves.reserve(16);
+    for (int p = 0; p < kNumPlanes; ++p) {
+        for (int out = 0; out < kNumPorts; ++out) {
+            // Responses leave through LM, requests through LS; N/S/E/W
+            // carry both planes.
+            if (out == kLocalMaster && p == 0) continue;
+            if (out == kLocalSlave && p == 1) continue;
 
-    for (std::size_t r = 0; r < n; ++r) {
-        Router& rt = routers_[r];
-        for (int p = 0; p < kNumPlanes; ++p) {
-            for (int out = 0; out < kNumPorts; ++out) {
-                // Responses leave through LM, requests through LS; N/S/E/W
-                // carry both planes.
-                if (out == kLocalMaster && p == 0) continue;
-                if (out == kLocalSlave && p == 1) continue;
-
-                int src = rt.bound_in[p][out];
-                if (src < 0) {
-                    // Allocate: round-robin over inputs with a Head flit
-                    // routed to this output.
-                    for (int k = 0; k < kNumPorts; ++k) {
-                        const int i = (rt.rr[p][out] + k) % kNumPorts;
-                        const auto& q = rt.in[p][i];
-                        if (q.empty() || q.front().kind != Flit::Kind::Head)
-                            continue;
-                        if (route(static_cast<u16>(r), q.front().hdr) != out)
-                            continue;
-                        src = i;
-                        rt.bound_in[p][out] = i;
-                        rt.rr[p][out] = (i + 1) % kNumPorts;
-                        break;
-                    }
-                }
-                if (src < 0) continue;
-                const auto& q = rt.in[p][src];
-                if (q.empty()) continue;
-
-                Move mv;
-                mv.router = r;
-                mv.plane = p;
-                mv.in_port = src;
-                if (out == kLocalMaster || out == kLocalSlave) {
-                    mv.to_ni = true;
-                    mv.ni_is_master = (out == kLocalMaster);
-                    const int ni = mv.ni_is_master
-                                       ? master_at_node_[r]
-                                       : slave_at_node_[r];
-                    if (ni < 0) continue; // routed to a node without an NI: stuck
-                    mv.ni_index = ni;
-                    const std::size_t rx_size =
-                        mv.ni_is_master
-                            ? masters_[static_cast<std::size_t>(ni)].rx.size()
-                            : slaves_[static_cast<std::size_t>(ni)].rx.size();
-                    if (rx_size >= ni_rx_cap) continue;
-                } else {
-                    const auto nbr = neighbor(static_cast<u16>(r), out);
-                    if (!nbr) continue; // mesh edge: XY routing never does this
-                    mv.dst_router = *nbr;
-                    mv.dst_port = (out == kNorth)   ? kSouth
-                                  : (out == kSouth) ? kNorth
-                                  : (out == kEast)  ? kWest
-                                                    : kEast;
-                    if (sizes[slot(*nbr, p, mv.dst_port)] >= cfg_.fifo_depth)
+            int src = rt.bound_in[p][out];
+            if (src < 0) {
+                // Allocate: round-robin over inputs with a Head flit
+                // routed to this output.
+                for (int k = 0; k < kNumPorts; ++k) {
+                    const int i = (rt.rr[p][out] + k) % kNumPorts;
+                    const auto& q = rt.in[p][i];
+                    if (q.empty() || q.front().kind != Flit::Kind::Head)
                         continue;
+                    if (route(static_cast<u16>(r), q.front().hdr) != out)
+                        continue;
+                    src = i;
+                    rt.bound_in[p][out] = i;
+                    ++rt.bound_count;
+                    rt.rr[p][out] = (i + 1) % kNumPorts;
+                    break;
                 }
-                moves.push_back(mv);
-                // Advance / release the wormhole binding bookkeeping now:
-                // the move is committed.
-                if (q.front().kind == Flit::Kind::Tail)
-                    rt.bound_in[p][out] = -1;
-                else
-                    rt.bound_in[p][out] = src;
+            }
+            if (src < 0) continue;
+            const auto& q = rt.in[p][src];
+            if (q.empty()) continue;
+
+            // Destination capacities are read live: nothing pops or pushes
+            // a FIFO until the apply phase, so these reads see exactly the
+            // start-of-phase sizes (each input FIFO also has a single
+            // writer per cycle, so committed moves cannot overfill one).
+            Move mv;
+            mv.router = r;
+            mv.plane = p;
+            mv.in_port = src;
+            if (out == kLocalMaster || out == kLocalSlave) {
+                mv.to_ni = true;
+                mv.ni_is_master = (out == kLocalMaster);
+                const int ni = mv.ni_is_master ? master_at_node_[r]
+                                               : slave_at_node_[r];
+                if (ni < 0) continue; // routed to a node without an NI: stuck
+                mv.ni_index = ni;
+                const std::size_t rx_size =
+                    mv.ni_is_master
+                        ? masters_[static_cast<std::size_t>(ni)].rx.size()
+                        : slaves_[static_cast<std::size_t>(ni)].rx.size();
+                if (rx_size >= ni_rx_cap) continue;
+            } else {
+                const auto nbr = neighbor(static_cast<u16>(r), out);
+                if (!nbr) continue; // mesh edge: XY routing never does this
+                mv.dst_router = *nbr;
+                mv.dst_port = (out == kNorth)   ? kSouth
+                              : (out == kSouth) ? kNorth
+                              : (out == kEast)  ? kWest
+                                                : kEast;
+                if (routers_[*nbr].in[p][mv.dst_port].size() >= cfg_.fifo_depth)
+                    continue;
+            }
+            moves_.push_back(mv);
+            // Advance / release the wormhole binding bookkeeping now:
+            // the move is committed.
+            if (q.front().kind == Flit::Kind::Tail) {
+                rt.bound_in[p][out] = -1;
+                --rt.bound_count;
+            } else {
+                rt.bound_in[p][out] = src;
             }
         }
     }
+}
+
+void XpipesNetwork::eval_routers() {
+    ++stats_.router_phase_cycles;
+    moves_.clear();
+
+    // Collect phase: examine routers (worklist or full scan), committing
+    // moves against the untouched FIFO state. Per-router processing only
+    // reads other routers' FIFO sizes, so worklist order is irrelevant —
+    // behaviour is bit-identical to the index-ordered full scan.
+    if (cfg_.router_gating) {
+        for (const u32 r : active_) collect_router_moves(r);
+    } else {
+        for (std::size_t r = 0; r < routers_.size(); ++r)
+            collect_router_moves(r);
+    }
 
     // Apply all moves.
-    for (const Move& mv : moves) {
-        auto& q = routers_[mv.router].in[mv.plane][mv.in_port];
+    for (const Move& mv : moves_) {
+        Router& src_rt = routers_[mv.router];
+        auto& q = src_rt.in[mv.plane][mv.in_port];
         Flit flit = q.front();
         q.pop_front();
+        --src_rt.occupancy;
         ++stats_.flits_routed;
         any_activity_ = true;
         if (mv.to_ni) {
             --flits_active_;
             if (mv.ni_is_master) {
                 MasterNi& ni = masters_[static_cast<std::size_t>(mv.ni_index)];
-                if (flit.kind == Flit::Kind::Payload) ni.rx.push_back(flit.payload);
+                if (flit.kind == Flit::Kind::Payload)
+                    ni.rx.push_back(RxBeat{flit.payload, flit.err});
             } else {
                 SlaveNi& ni = slaves_[static_cast<std::size_t>(mv.ni_index)];
                 ni.rx.push_back(flit);
-                if (flit.kind == Flit::Kind::Tail) ni.rx_has_packet = true;
+                if (flit.kind == Flit::Kind::Tail) ++ni.tails_in_rx;
             }
         } else {
             routers_[mv.dst_router].in[mv.plane][mv.dst_port].push_back(flit);
+            ++routers_[mv.dst_router].occupancy;
         }
     }
+
+    // Rebuild the worklist for the next phase: survivors that still hold
+    // flits or a binding (covers moves blocked on back-pressure — their
+    // flits stay put, so stalled wormholes remain live) plus every move
+    // destination. Epoch stamps deduplicate; inject() appends under the
+    // same epoch afterwards.
+    ++active_epoch_;
+    scratch_.clear();
+    const auto keep = [this](u32 r) {
+        const Router& rt = routers_[r];
+        if (rt.occupancy == 0 && rt.bound_count == 0) return;
+        if (active_mark_[r] == active_epoch_) return;
+        active_mark_[r] = active_epoch_;
+        scratch_.push_back(r);
+    };
+    for (const u32 r : active_) keep(r);
+    for (const Move& mv : moves_)
+        if (!mv.to_ni) keep(static_cast<u32>(mv.dst_router));
+    active_.swap(scratch_);
 }
 
 void XpipesNetwork::eval() {

@@ -16,6 +16,13 @@
 // LM and LS). The platform co-locates a core with its private memory and
 // places shared slaves on their own nodes.
 //
+// The router phase is activity-driven: only routers holding flits (or a
+// wormhole binding) are visited each cycle, so per-cycle cost scales with
+// traffic instead of mesh size. docs/xpipes.md documents the mesh
+// microarchitecture and the activity contract; bit-identity against the
+// full-scan reference (router_gating = false) is pinned by
+// tests/xpipes_gating_test.cpp.
+//
 // Compared to the AHB model this fabric has higher zero-load latency but
 // concurrent transfers — the architectural contrast used by the paper's
 // cross-interconnect validation (identical .tgp programs, different cycle
@@ -35,6 +42,10 @@ struct XpipesConfig {
     u32 width = 3;
     u32 height = 3;
     u32 fifo_depth = 4; ///< flits per router input FIFO
+    /// Activity-driven router phase (the default): eval only routers on the
+    /// active worklist. false = full scan over every router × plane × port,
+    /// kept as the bit-identical reference for tests and benches.
+    bool router_gating = true;
 };
 
 struct XpipesStats {
@@ -42,6 +53,11 @@ struct XpipesStats {
     u64 flits_routed = 0;   ///< link traversals
     u64 packets_sent = 0;
     u64 decode_errors = 0;
+    /// Routers processed by the router phase (per router per cycle). The
+    /// full-scan bound is node_count() × router_phase_cycles; the gap between
+    /// the two is what activity gating saves.
+    u64 router_visits = 0;
+    u64 router_phase_cycles = 0; ///< cycles in which the router phase ran
     std::vector<u64> master_wait_cycles; ///< command asserted, NI busy
 };
 
@@ -92,6 +108,10 @@ private:
     struct Flit {
         enum class Kind : u8 { Head, Payload, Tail };
         Kind kind = Kind::Head;
+        /// Response payload beat failed at the slave (Resp::Err). Carried
+        /// per beat so a mid-burst error survives the mesh crossing and is
+        /// replayed as Resp::Err at the requesting master NI.
+        bool err = false;
         u32 payload = 0;
         FlitHeader hdr; ///< meaningful on Head flits only
     };
@@ -100,6 +120,17 @@ private:
         std::deque<Flit> in[kNumPlanes][kNumPorts];
         int bound_in[kNumPlanes][kNumPorts]; ///< wormhole binding per output
         int rr[kNumPlanes][kNumPorts];       ///< round-robin pointer per output
+        /// Activity bookkeeping for the worklist: total flits across the
+        /// input FIFOs and number of held wormhole bindings. The router is
+        /// active — and must be on the worklist — iff either is nonzero.
+        u32 occupancy = 0;
+        u32 bound_count = 0;
+    };
+
+    /// One response beat buffered at the master NI, with its error flag.
+    struct RxBeat {
+        u32 data = 0;
+        bool err = false;
     };
 
     struct MasterNi {
@@ -111,15 +142,15 @@ private:
         u16 beats = 0;     ///< accepted write beats
         u16 resp_sent = 0; ///< response beats forwarded to the master
         bool err = false;  ///< decode failure: synthesize ERR beats
-        std::deque<Flit> tx; ///< flits awaiting injection (plane 0)
-        std::deque<u32> rx;  ///< response payload beats received
+        std::deque<Flit> tx;   ///< flits awaiting injection (plane 0)
+        std::deque<RxBeat> rx; ///< response beats received
     };
 
     struct SlaveNi {
         ocp::ChannelRef ch;
         u16 node = 0;
         std::deque<Flit> rx; ///< incoming request flits (bounded)
-        bool rx_has_packet = false;
+        u16 tails_in_rx = 0; ///< complete packets buffered (Tail count)
         enum class St : u8 { Idle, DriveReq, AwaitResp } st = St::Idle;
         FlitHeader hdr;
         std::vector<u32> wdata;
@@ -129,13 +160,31 @@ private:
         std::deque<Flit> tx; ///< response flits awaiting injection (plane 1)
     };
 
+    /// A committed flit transfer, collected against pre-move FIFO sizes and
+    /// applied after all active routers were examined (two-phase, so the
+    /// visit order of the worklist cannot influence behaviour).
+    struct Move {
+        std::size_t router = 0;
+        int plane = 0;
+        int in_port = 0;
+        // Destination: either a neighbour router FIFO or a local NI.
+        bool to_ni = false;
+        std::size_t dst_router = 0;
+        int dst_port = 0;
+        int ni_index = 0;
+        bool ni_is_master = false;
+    };
+
     [[nodiscard]] int route(u16 node, const FlitHeader& hdr) const noexcept;
     [[nodiscard]] std::optional<std::size_t> neighbor(u16 node, int port) const noexcept;
 
     void eval_master_ni(MasterNi& ni);
     void eval_slave_ni(SlaveNi& ni);
     void eval_routers();
+    void collect_router_moves(std::size_t r);
     void inject(std::deque<Flit>& tx, u16 node, int port, int plane);
+    /// Adds `r` to the active worklist unless already stamped this epoch.
+    void enqueue_router(std::size_t r);
 
     XpipesConfig cfg_;
     AddressMap map_;
@@ -150,6 +199,16 @@ private:
     /// Flits currently inside the network (router FIFOs + NI tx queues);
     /// the router phase is skipped when zero.
     u32 flits_active_ = 0;
+
+    // --- active-router worklist (see docs/xpipes.md) ---
+    /// Routers to visit in the next router phase. Invariant: every router
+    /// with occupancy > 0 or bound_count > 0 is on the list (it may also
+    /// hold just-drained routers until the next rebuild).
+    std::vector<u32> active_;
+    std::vector<u32> scratch_;      ///< rebuild target, swapped with active_
+    std::vector<u64> active_mark_;  ///< per-router epoch stamp (dedup)
+    u64 active_epoch_ = 1;
+    std::vector<Move> moves_; ///< reused per cycle (allocation-free steady state)
 };
 
 } // namespace tgsim::ic

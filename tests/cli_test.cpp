@@ -1,0 +1,94 @@
+// Unit tests for the shared CLI helpers (tools/cli.hpp): flag parsing and
+// the strict numeric validation — "--jobs=abc" must be a fatal usage error,
+// not a silent 0 ("one worker per hardware thread").
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cli.hpp"
+
+namespace tgsim {
+namespace {
+
+cli::Args make_args(std::vector<std::string> argv) {
+    argv.insert(argv.begin(), "prog");
+    std::vector<char*> raw;
+    for (std::string& a : argv) raw.push_back(a.data());
+    return cli::Args{static_cast<int>(raw.size()), raw.data()};
+}
+
+TEST(CliParseU64, AcceptsDecimalHexOctal) {
+    EXPECT_EQ(cli::parse_u64("0"), 0u);
+    EXPECT_EQ(cli::parse_u64("42"), 42u);
+    EXPECT_EQ(cli::parse_u64("0x30000000"), 0x30000000u);
+    EXPECT_EQ(cli::parse_u64("010"), 8u); // strtoull octal, base 0
+    EXPECT_EQ(cli::parse_u64("18446744073709551615"), ~u64{0});
+}
+
+TEST(CliParseU64, RejectsGarbage) {
+    EXPECT_FALSE(cli::parse_u64(""));
+    EXPECT_FALSE(cli::parse_u64("abc"));
+    EXPECT_FALSE(cli::parse_u64("12abc"));   // trailing junk
+    EXPECT_FALSE(cli::parse_u64("0xZZ"));    // bad hex digits
+    EXPECT_FALSE(cli::parse_u64(" 5"));      // leading whitespace
+    EXPECT_FALSE(cli::parse_u64("-1"));      // strtoull would wrap this
+    EXPECT_FALSE(cli::parse_u64("+5"));
+    EXPECT_FALSE(cli::parse_u64("1e6"));
+    EXPECT_FALSE(cli::parse_u64("18446744073709551616")); // overflow
+}
+
+TEST(CliArgs, FlagsAndPositionals) {
+    const auto args = make_args({"--jobs=4", "--json=out.json", "--flag",
+                                 "prog.tgp", "other.tgp"});
+    EXPECT_TRUE(args.has("flag"));
+    EXPECT_FALSE(args.has("missing"));
+    EXPECT_EQ(args.get("json"), "out.json");
+    EXPECT_EQ(args.get_u64("jobs", 0), 4u);
+    EXPECT_EQ(args.get_u64("absent", 7), 7u);
+    ASSERT_EQ(args.positional().size(), 2u);
+    EXPECT_EQ(args.positional()[0], "prog.tgp");
+}
+
+using CliArgsDeath = testing::Test;
+
+TEST(CliArgsDeath, GarbageNumericFlagExits) {
+    const auto args = make_args({"--jobs=abc"});
+    EXPECT_EXIT(args.get_u64("jobs", 0), testing::ExitedWithCode(1),
+                "--jobs: invalid number 'abc'");
+}
+
+TEST(CliArgsDeath, OutOfU32RangeFlagExits) {
+    // 2^32 + 4 is a valid u64, but a u32 consumer must not truncate it to 4.
+    const auto args = make_args({"--cores=4294967300"});
+    EXPECT_EQ(args.get_u64("cores", 0), 4294967300ull);
+    EXPECT_EXIT(args.get_u32("cores", 0), testing::ExitedWithCode(1),
+                "--cores: value '4294967300' out of 32-bit range");
+}
+
+TEST(CliArgsDeath, ValuelessNumericFlagExits) {
+    // "--jobs" with no value used to strtoull("") -> 0 silently.
+    const auto args = make_args({"--jobs"});
+    EXPECT_EXIT(args.get_u64("jobs", 0), testing::ExitedWithCode(1),
+                "--jobs: invalid number ''");
+}
+
+TEST(CliPolls, ParsesValidSpec) {
+    const auto polls = cli::parse_polls({"0x30000000:256:eq:0:1"});
+    ASSERT_EQ(polls.size(), 1u);
+    EXPECT_EQ(polls[0].base, 0x30000000u);
+    EXPECT_EQ(polls[0].size, 256u);
+    EXPECT_EQ(polls[0].retry_cmp, tg::TgCmp::Eq);
+    EXPECT_EQ(polls[0].retry_value, 0u);
+    EXPECT_EQ(polls[0].inter_poll_idle, 1u);
+}
+
+TEST(CliPollsDeath, GarbageNumericFieldExits) {
+    EXPECT_EXIT(cli::parse_polls({"bogus:256:eq:0:1"}),
+                testing::ExitedWithCode(1), "--poll base: invalid number");
+    EXPECT_EXIT(cli::parse_polls({"0x30000000:256:eq:0:soon"}),
+                testing::ExitedWithCode(1), "--poll idle: invalid number");
+}
+
+} // namespace
+} // namespace tgsim

@@ -2,6 +2,7 @@
 // and forwarding, crossbar concurrency, and the ×pipes mesh NoC.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "ic/address_map.hpp"
@@ -16,6 +17,51 @@ namespace {
 
 using mem::MemorySlave;
 using mem::SlaveTiming;
+
+/// Read-only slave that answers burst reads with Resp::Err on a chosen set
+/// of beats (Dva elsewhere) — models a device failing mid-burst, which must
+/// reach the requesting master as Resp::Err even across the mesh.
+class ErrSlave final : public sim::Clocked {
+public:
+    ErrSlave(ocp::ChannelRef ch, std::vector<u16> err_beats)
+        : ch_(ch), err_beats_(std::move(err_beats)) {}
+
+    void eval() override {
+        ch_.clear_response();
+        if (st_ == St::Idle && ocp::is_read(ch_.m_cmd())) {
+            burst_ = ocp::is_burst(ch_.m_cmd())
+                         ? std::max<u16>(1, ch_.m_burst())
+                         : u16{1};
+            beat_ = 0;
+            ch_.s_cmd_accept() = true;
+            st_ = St::Respond;
+        } else if (st_ == St::Respond) {
+            const bool err =
+                std::find(err_beats_.begin(), err_beats_.end(), beat_) !=
+                err_beats_.end();
+            ch_.s_resp() = err ? ocp::Resp::Err : ocp::Resp::Dva;
+            ch_.s_data() = err ? 0u : 0x1000u + beat_;
+            ch_.s_resp_last() = (beat_ + 1 == burst_);
+        }
+        ch_.touch_s();
+    }
+    void update() override {
+        // m_resp_accept is read live: the consumer (NI or master) drives it
+        // after our eval within this cycle, and tidies it when not accepting.
+        if (st_ == St::Respond && ch_.m_resp_accept()) {
+            ++beat_;
+            if (beat_ == burst_) st_ = St::Idle;
+        }
+    }
+
+private:
+    enum class St : u8 { Idle, Respond };
+    ocp::ChannelRef ch_;
+    std::vector<u16> err_beats_;
+    St st_ = St::Idle;
+    u16 burst_ = 1;
+    u16 beat_ = 0;
+};
 
 TEST(AddressMap, DecodesRanges) {
     ic::AddressMap m;
@@ -345,6 +391,38 @@ TEST(Xpipes, TinyFifosStillDeliverEverything) {
     ASSERT_TRUE(rig.run_to_idle());
     EXPECT_EQ(m0.results().at(1).rdata, beats);
     EXPECT_EQ(m1.results().at(1).rdata, beats);
+}
+
+TEST(Xpipes, SlaveErrMidBurstPropagatesToMaster) {
+    // Regression: a slave's Resp::Err used to be rewritten into a poison
+    // *payload* at the slave NI and reported to the master as Dva — errors
+    // silently vanished across the mesh. The error flag must survive
+    // per beat: Err exactly where the slave erred, Dva elsewhere.
+    IcRig<ic::XpipesNetwork> rig{ic::XpipesConfig{3, 3, 4}};
+    auto& m = rig.add_master(0);
+    rig.chans.push_back(std::make_unique<ocp::Channel>());
+    ErrSlave errsl{*rig.chans.back(), {2, 5}};
+    rig.ic.connect_slave(*rig.chans.back(), 0x2000, 0x1000, 8); // far corner
+    rig.kernel.add(errsl, sim::kStageSlave);
+    rig.finish_wiring();
+    m.push({ocp::Cmd::BurstRead, 0x2000, 8, {}, 0});
+    m.push({ocp::Cmd::Read, 0x2000, 1, {}, 0}); // beat 0 is clean
+    ASSERT_TRUE(rig.run_to_idle());
+    const auto& burst = m.results().at(0);
+    ASSERT_EQ(burst.resps.size(), 8u);
+    for (u16 i = 0; i < 8; ++i) {
+        if (i == 2 || i == 5) {
+            EXPECT_EQ(burst.resps[i], ocp::Resp::Err) << "beat " << i;
+            EXPECT_EQ(burst.rdata[i], 0xDEADBEEFu) << "beat " << i;
+        } else {
+            EXPECT_EQ(burst.resps[i], ocp::Resp::Dva) << "beat " << i;
+            EXPECT_EQ(burst.rdata[i], 0x1000u + i) << "beat " << i;
+        }
+    }
+    const auto& single = m.results().at(1);
+    ASSERT_EQ(single.resps.size(), 1u);
+    EXPECT_EQ(single.resps[0], ocp::Resp::Dva);
+    EXPECT_EQ(single.rdata[0], 0x1000u);
 }
 
 TEST(Xpipes, DecodeErrorSynthesizedLocally) {

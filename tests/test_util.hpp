@@ -1,10 +1,13 @@
-// Helpers shared by the tgsim test suites.
+// Helpers shared by the tgsim test suites (and the mesh_gating bench).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/apps.hpp"
+#include "ic/xpipes/xpipes.hpp"
+#include "mem/memory.hpp"
 #include "platform/platform.hpp"
 #include "tg/program.hpp"
 #include "tg/translator.hpp"
@@ -79,6 +82,7 @@ public:
         Cycle t_resp_first = 0;
         Cycle t_resp_last = 0;
         std::vector<u32> rdata;
+        std::vector<ocp::Resp> resps; ///< per-beat response code (reads)
     };
 
     TestMaster(const sim::Kernel& kernel, ocp::ChannelRef ch)
@@ -145,6 +149,7 @@ public:
         if (ch_.s_resp() != ocp::Resp::None) {
             if (cur_.rdata.empty()) cur_.t_resp_first = kernel_.now();
             cur_.rdata.push_back(ch_.s_data());
+            cur_.resps.push_back(ch_.s_resp());
             if (ch_.s_resp_last() || cur_.rdata.size() == cur_.op.burst) {
                 cur_.t_resp_last = kernel_.now();
                 finish();
@@ -168,5 +173,60 @@ private:
     Done cur_;
     std::vector<Done> results_;
 };
+
+/// N scripted TestMasters + M memory slaves on one ×pipes mesh — shared by
+/// the router-gating bit-identity suite (tests/xpipes_gating_test.cpp) and
+/// the mesh_gating bench, so the wiring under test and the wiring being
+/// timed cannot drift apart.
+struct MeshRig {
+    sim::Kernel kernel;
+    std::vector<std::unique_ptr<ocp::Channel>> chans;
+    std::vector<std::unique_ptr<TestMaster>> masters;
+    std::vector<std::unique_ptr<mem::MemorySlave>> mems;
+    ic::XpipesNetwork ic;
+
+    explicit MeshRig(ic::XpipesConfig cfg) : ic(cfg) {}
+
+    TestMaster& add_master(int node) {
+        chans.push_back(std::make_unique<ocp::Channel>());
+        masters.push_back(std::make_unique<TestMaster>(kernel, *chans.back()));
+        ic.connect_master(*chans.back(), node);
+        kernel.add(*masters.back(), sim::kStageMaster);
+        return *masters.back();
+    }
+    mem::MemorySlave& add_mem(u32 base, u32 size, mem::SlaveTiming t,
+                              int node) {
+        chans.push_back(std::make_unique<ocp::Channel>());
+        mems.push_back(
+            std::make_unique<mem::MemorySlave>(*chans.back(), t, base, size));
+        ic.connect_slave(*chans.back(), base, size, node);
+        kernel.add(*mems.back(), sim::kStageSlave);
+        return *mems.back();
+    }
+    [[nodiscard]] bool run_to_idle(Cycle max = 200'000'000) {
+        kernel.add(ic, sim::kStageInterconnect);
+        const bool done = kernel.run_until(
+            [&] {
+                for (const auto& m : masters)
+                    if (!m->idle()) return false;
+                return true;
+            },
+            max);
+        kernel.run(4000); // drain posted writes
+        return done;
+    }
+};
+
+/// Pushes `reps` 8-beat write+read burst pairs onto `m` (addresses cycle
+/// within a 0x1000 window).
+inline void push_burst_flow(TestMaster& m, u32 reps) {
+    for (u32 i = 0; i < reps; ++i) {
+        std::vector<u32> beats;
+        for (u32 b = 0; b < 8; ++b) beats.push_back(i * 8 + b);
+        const u32 addr = (i % 32) * 0x20;
+        m.push({ocp::Cmd::BurstWrite, addr, 8, beats, 0});
+        m.push({ocp::Cmd::BurstRead, addr, 8, {}, 0});
+    }
+}
 
 } // namespace tgsim::test

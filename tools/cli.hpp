@@ -2,6 +2,8 @@
 // benchmark/workload factory, and binary image file I/O.
 #pragma once
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -16,6 +18,43 @@
 #include "tg/translator.hpp"
 
 namespace tgsim::cli {
+
+/// Strict unsigned parse (decimal, 0x hex or 0 octal): the whole string must
+/// be consumed and in range, otherwise nullopt. Unlike bare strtoull this
+/// rejects empty strings, signs, leading whitespace and trailing garbage —
+/// "--jobs=abc" must be an error, not "one worker per hardware thread".
+[[nodiscard]] inline std::optional<u64> parse_u64(const std::string& s) {
+    if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0])))
+        return std::nullopt;
+    errno = 0;
+    char* end = nullptr;
+    const u64 v = std::strtoull(s.c_str(), &end, 0);
+    if (end != s.c_str() + s.size() || errno == ERANGE) return std::nullopt;
+    return v;
+}
+
+/// parse_u64 or exit(1) with a message naming the offending flag/field.
+inline u64 parse_u64_or_die(const std::string& s, const std::string& what) {
+    const auto v = parse_u64(s);
+    if (!v) {
+        std::fprintf(stderr, "%s: invalid number '%s'\n", what.c_str(),
+                     s.c_str());
+        std::exit(1);
+    }
+    return *v;
+}
+
+/// Same, for 32-bit consumers: out-of-range values are a usage error, not a
+/// silent truncation.
+inline u32 parse_u32_or_die(const std::string& s, const std::string& what) {
+    const u64 v = parse_u64_or_die(s, what);
+    if (v > 0xFFFFFFFFull) {
+        std::fprintf(stderr, "%s: value '%s' out of 32-bit range\n",
+                     what.c_str(), s.c_str());
+        std::exit(1);
+    }
+    return static_cast<u32>(v);
+}
 
 /// Parses "--key=value" / "--flag" style arguments; positional arguments are
 /// collected in order.
@@ -44,11 +83,17 @@ public:
         const auto it = flags_.find(key);
         return it == flags_.end() ? fallback : it->second;
     }
+    /// Numeric flag value; an unparsable value is a fatal usage error.
     [[nodiscard]] u64 get_u64(const std::string& key, u64 fallback) const {
         const auto it = flags_.find(key);
-        return it == flags_.end()
-                   ? fallback
-                   : std::strtoull(it->second.c_str(), nullptr, 0);
+        if (it == flags_.end()) return fallback;
+        return parse_u64_or_die(it->second, "--" + key);
+    }
+    /// 32-bit variant; values beyond u32 are a fatal usage error too.
+    [[nodiscard]] u32 get_u32(const std::string& key, u32 fallback) const {
+        const auto it = flags_.find(key);
+        if (it == flags_.end()) return fallback;
+        return parse_u32_or_die(it->second, "--" + key);
     }
     [[nodiscard]] const std::vector<std::string>& positional() const {
         return positional_;
@@ -80,9 +125,7 @@ inline u32 default_size(const std::string& app) {
 /// other tools cannot grow drifting copies:
 ///   --jobs=N    worker threads; 0 or absent = one per hardware thread
 ///   --json=PATH machine-readable report destination; empty = stdout only
-inline u32 get_jobs(const Args& args) {
-    return static_cast<u32>(args.get_u64("jobs", 0));
-}
+inline u32 get_jobs(const Args& args) { return args.get_u32("jobs", 0); }
 
 inline std::string json_path(const Args& args) { return args.get("json", ""); }
 
@@ -179,8 +222,8 @@ inline std::vector<tg::PollSpec> parse_polls(const std::vector<std::string>& raw
             std::exit(1);
         }
         tg::PollSpec p;
-        p.base = static_cast<u32>(std::strtoul(parts[0].c_str(), nullptr, 0));
-        p.size = static_cast<u32>(std::strtoul(parts[1].c_str(), nullptr, 0));
+        p.base = parse_u32_or_die(parts[0], "--poll base");
+        p.size = parse_u32_or_die(parts[1], "--poll size");
         if (parts[2] == "eq") p.retry_cmp = tg::TgCmp::Eq;
         else if (parts[2] == "ne") p.retry_cmp = tg::TgCmp::Ne;
         else if (parts[2] == "ltu") p.retry_cmp = tg::TgCmp::Ltu;
@@ -189,9 +232,8 @@ inline std::vector<tg::PollSpec> parse_polls(const std::vector<std::string>& raw
             std::fprintf(stderr, "bad --poll cmp '%s'\n", parts[2].c_str());
             std::exit(1);
         }
-        p.retry_value = static_cast<u32>(std::strtoul(parts[3].c_str(), nullptr, 0));
-        p.inter_poll_idle =
-            static_cast<u32>(std::strtoul(parts[4].c_str(), nullptr, 0));
+        p.retry_value = parse_u32_or_die(parts[3], "--poll value");
+        p.inter_poll_idle = parse_u32_or_die(parts[4], "--poll idle");
         polls.push_back(p);
     }
     return polls;

@@ -39,9 +39,8 @@ int main(int argc, char** argv) {
     bool have_checks = false;
     if (args.has("app")) {
         const auto w = cli::make_workload(
-            args.get("app"), static_cast<u32>(args.get_u64("cores", programs.size())),
-            static_cast<u32>(
-                args.get_u64("size", cli::default_size(args.get("app")))));
+            args.get("app"), args.get_u32("cores", static_cast<u32>(programs.size())),
+            args.get_u32("size", cli::default_size(args.get("app"))));
         if (!w) {
             std::fprintf(stderr, "unknown --app\n");
             return 1;

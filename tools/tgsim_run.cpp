@@ -15,9 +15,9 @@ using namespace tgsim;
 int main(int argc, char** argv) {
     const cli::Args args{argc, argv};
     const std::string app = args.get("app", "mp_matrix");
-    const u32 cores = static_cast<u32>(args.get_u64("cores", 4));
+    const u32 cores = args.get_u32("cores", 4);
     const u32 size =
-        static_cast<u32>(args.get_u64("size", cli::default_size(app)));
+        args.get_u32("size", cli::default_size(app));
     const auto ic = cli::parse_ic(args.get("ic", "amba"));
     if (!ic) {
         std::fprintf(stderr, "unknown --ic (amba|crossbar|xpipes)\n");

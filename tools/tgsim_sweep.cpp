@@ -46,9 +46,9 @@ std::optional<ic::XpipesConfig> parse_mesh(const std::string& spec,
 int main(int argc, char** argv) {
     const cli::Args args{argc, argv};
     const std::string app = args.get("app", "mp_matrix");
-    const u32 cores = static_cast<u32>(args.get_u64("cores", 6));
+    const u32 cores = args.get_u32("cores", 6);
     const u32 size =
-        static_cast<u32>(args.get_u64("size", cli::default_size(app)));
+        args.get_u32("size", cli::default_size(app));
     const Cycle max_cycles = args.get_u64("max-cycles", 100'000'000);
 
     const auto workload = cli::make_workload(app, cores, size);
@@ -66,11 +66,12 @@ int main(int argc, char** argv) {
         cli::split_list(args.get("mesh", "auto,8x1,3x3"));
     std::vector<std::string> fifos = cli::split_list(args.get("fifo", "4"));
     for (const std::string& f : fifos) {
-        const u32 depth = static_cast<u32>(std::strtoul(f.c_str(), nullptr, 10));
-        if (depth == 0) {
+        const u64 depth64 = cli::parse_u64(f).value_or(0);
+        if (depth64 == 0 || depth64 > 0xFFFFFFFFull) {
             std::fprintf(stderr, "bad --fifo depth '%s'\n", f.c_str());
             return 1;
         }
+        const u32 depth = static_cast<u32>(depth64);
         for (const std::string& m : meshes) {
             const auto mesh = parse_mesh(m, depth);
             if (!mesh) {
@@ -82,6 +83,9 @@ int main(int argc, char** argv) {
         }
     }
     const std::vector<sweep::Candidate> candidates = sweep::make_grid(grid);
+    // Numeric flags validate eagerly too — same fail-fast contract.
+    const u32 jobs_flag = cli::get_jobs(args);
+    const bool cpu_truth = args.has("cpu-truth");
 
     // --- one reference simulation, traced ---
     platform::PlatformConfig ref_cfg;
@@ -111,9 +115,9 @@ int main(int argc, char** argv) {
     // --- parallel evaluation ---
     sweep::SweepDriver driver{programs, *workload};
     sweep::SweepOptions opts;
-    opts.jobs = cli::get_jobs(args);
+    opts.jobs = jobs_flag;
     opts.max_cycles = max_cycles;
-    opts.with_cpu_truth = args.has("cpu-truth");
+    opts.with_cpu_truth = cpu_truth;
     const u32 jobs = sweep::resolve_jobs(opts.jobs, candidates.size());
     sim::WallTimer timer;
     const std::vector<sweep::SweepResult> results =

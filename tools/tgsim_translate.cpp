@@ -30,8 +30,8 @@ int main(int argc, char** argv) {
     opt.loop_forever = args.has("loop-forever");
     if (args.has("app")) {
         const auto w = cli::make_workload(
-            args.get("app"), static_cast<u32>(args.get_u64("cores", 4)),
-            static_cast<u32>(args.get_u64("size", 24)));
+            args.get("app"), args.get_u32("cores", 4),
+            args.get_u32("size", 24));
         if (!w) {
             std::fprintf(stderr, "unknown --app\n");
             return 1;
