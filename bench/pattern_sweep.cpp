@@ -1,0 +1,211 @@
+// Synthetic traffic-pattern load–latency sweeps — the CI gate for the
+// pattern subsystem (docs/traffic.md).
+//
+// For each pattern (transpose and uniform_random on a 4x4 core grid) the
+// harness sweeps an ascending offered-rate ladder through
+// sweep::SweepDriver twice — at --jobs 1 and --jobs 4 — and hard-fails on:
+//
+//   * determinism divergence: any candidate not bit_identical across the
+//     two worker counts (the share-nothing contract, docs/sweep.md);
+//   * non-monotonic garbage: accepted throughput or mean latency falling
+//     off a cliff as offered load rises (generous tolerances — the curves
+//     are deterministic, but low-rate points carry sampling wobble);
+//   * an accepted rate above the offered rate (the mesh cannot invent
+//     packets), or a curve with no samples at all.
+//
+// Results go to BENCH_pattern_sweep.json: one row per rate point (offered,
+// accepted, latency percentiles) plus a summary row per pattern with the
+// saturation throughput — the yardstick future perf PRs diff against.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sweep/sweep.hpp"
+#include "tg/patterns.hpp"
+
+namespace tgsim {
+namespace {
+
+struct PatternRun {
+    tg::Pattern pattern;
+    std::vector<sweep::SweepResult> results; ///< jobs=1 baseline
+    double wall_1job = 0.0;
+    double wall_4job = 0.0;
+    bool identical = true;
+    sweep::SaturationPoint sat;
+};
+
+PatternRun run_pattern(tg::Pattern pattern, const std::vector<double>& rates,
+                       u64 packets) {
+    tg::PatternConfig pc;
+    pc.pattern = pattern;
+    pc.width = 4;
+    pc.height = 4;
+    pc.injection_rate = rates.front();
+    pc.packets_per_core = packets;
+    pc.read_fraction = 0.5;
+
+    platform::PlatformConfig base;
+    base.ic = platform::IcKind::Xpipes;
+    base.xpipes.width = pc.width;
+    base.xpipes.height =
+        platform::xpipes_height_for(pc.width * pc.height, pc.width);
+
+    apps::Workload context;
+    context.name = std::string{tg::to_string(pattern)};
+
+    const sweep::SweepDriver driver{pc, context};
+    const auto candidates = sweep::make_rate_sweep(base, rates);
+
+    PatternRun run;
+    run.pattern = pattern;
+    for (const u32 jobs : {1u, 4u}) {
+        sweep::SweepOptions opts;
+        opts.jobs = jobs;
+        opts.max_cycles = bench::kMaxCycles;
+        sim::WallTimer timer;
+        std::vector<sweep::SweepResult> results =
+            driver.run(candidates, opts);
+        const double wall = timer.seconds();
+        if (jobs == 1) {
+            run.results = std::move(results);
+            run.wall_1job = wall;
+            continue;
+        }
+        run.wall_4job = wall;
+        for (std::size_t i = 0; i < results.size(); ++i)
+            if (!sweep::bit_identical(results[i], run.results[i])) {
+                std::fprintf(stderr,
+                             "FATAL: %s '%s' diverged between --jobs 1 and "
+                             "--jobs 4\n",
+                             context.name.c_str(), results[i].name.c_str());
+                run.identical = false;
+            }
+    }
+
+    for (const sweep::SweepResult& r : run.results) {
+        if (!r.ok()) {
+            std::fprintf(stderr, "FATAL: %s '%s' failed: %s\n",
+                         context.name.c_str(), r.name.c_str(),
+                         r.error.c_str());
+            std::exit(1);
+        }
+        if (!r.has_latency || r.lat_count == 0) {
+            std::fprintf(stderr, "FATAL: %s '%s' collected no latency\n",
+                         context.name.c_str(), r.name.c_str());
+            std::exit(1);
+        }
+    }
+    run.sat = sweep::find_saturation(run.results);
+    return run;
+}
+
+/// The offered/accepted/latency relations that must hold on any sane curve.
+/// Tolerances are deliberately loose: the check is against *garbage*
+/// (instrumentation or determinism bugs), not against small modelling
+/// shifts, which the committed bench floors track instead.
+bool check_monotone(const PatternRun& run, const char* name) {
+    bool ok = true;
+    double best_accepted = 0.0;
+    double best_latency = 0.0;
+    for (const sweep::SweepResult& r : run.results) {
+        if (r.accepted_rate > r.offered_rate * 1.10 + 1e-6) {
+            std::fprintf(stderr,
+                         "FATAL: %s %s accepted %.4f above offered %.4f\n",
+                         name, r.name.c_str(), r.accepted_rate,
+                         r.offered_rate);
+            ok = false;
+        }
+        if (r.accepted_rate < best_accepted * 0.85) {
+            std::fprintf(stderr,
+                         "FATAL: %s %s accepted rate collapsed (%.4f after "
+                         "%.4f)\n",
+                         name, r.name.c_str(), r.accepted_rate,
+                         best_accepted);
+            ok = false;
+        }
+        if (r.lat_mean < best_latency * 0.80) {
+            std::fprintf(stderr,
+                         "FATAL: %s %s mean latency fell from %.1f to %.1f "
+                         "under MORE load\n",
+                         name, r.name.c_str(), best_latency, r.lat_mean);
+            ok = false;
+        }
+        best_accepted = std::max(best_accepted, r.accepted_rate);
+        best_latency = std::max(best_latency, r.lat_mean);
+    }
+    return ok;
+}
+
+} // namespace
+} // namespace tgsim
+
+int main() {
+    using namespace tgsim;
+    const u64 packets = 250 * bench::scale();
+    // Reaches the accepted-rate plateau (generator- or network-limited, see
+    // docs/traffic.md) so find_saturation() has a knee to report.
+    const std::vector<double> rates{0.01, 0.02, 0.04, 0.08,
+                                    0.16, 0.32, 0.64, 1.0};
+    bench::JsonReport report{"pattern_sweep"};
+
+    std::printf("synthetic pattern load-latency sweeps (4x4 core grid, "
+                "%llu packets/core)\n\n",
+                static_cast<unsigned long long>(packets));
+
+    bool all_ok = true;
+    for (const tg::Pattern pattern :
+         {tg::Pattern::Transpose, tg::Pattern::UniformRandom}) {
+        const std::string name{tg::to_string(pattern)};
+        const PatternRun run = run_pattern(pattern, rates, packets);
+        all_ok = all_ok && run.identical && check_monotone(run, name.c_str());
+
+        std::printf("%s:\n%-12s %10s %10s %9s %8s %8s\n", name.c_str(),
+                    "candidate", "offered", "accepted", "mean lat", "p50",
+                    "p99");
+        for (const sweep::SweepResult& r : run.results) {
+            std::printf("%-12s %10.4f %10.4f %9.1f %8llu %8llu\n",
+                        r.name.c_str(), r.offered_rate, r.accepted_rate,
+                        r.lat_mean,
+                        static_cast<unsigned long long>(r.lat_p50),
+                        static_cast<unsigned long long>(r.lat_p99));
+            report.add_row(
+                name + "_" + r.name,
+                {{"offered_rate", r.offered_rate},
+                 {"accepted_rate", r.accepted_rate},
+                 {"packets", static_cast<double>(r.packets)},
+                 {"lat_mean", r.lat_mean},
+                 {"lat_p50", static_cast<double>(r.lat_p50)},
+                 {"lat_p99", static_cast<double>(r.lat_p99)},
+                 {"contention_cycles",
+                  static_cast<double>(r.contention_cycles)},
+                 {"cycles", static_cast<double>(r.cycles)},
+                 {"identical", run.identical ? 1.0 : 0.0}});
+        }
+        if (run.sat.found)
+            std::printf("  saturation at offered %.4f: throughput %.4f "
+                        "txn/core/cycle\n\n",
+                        run.sat.offered, run.sat.throughput);
+        else
+            std::printf("  no saturation in range; max accepted %.4f\n\n",
+                        run.sat.throughput);
+        report.add_row(
+            "summary_" + name,
+            {{"saturation_found", run.sat.found ? 1.0 : 0.0},
+             {"saturation_throughput", run.sat.throughput},
+             {"saturation_offered", run.sat.offered},
+             {"wall_seconds_jobs1", run.wall_1job},
+             {"wall_seconds_jobs4", run.wall_4job},
+             {"identical", run.identical ? 1.0 : 0.0}});
+    }
+
+    if (!all_ok) {
+        std::fprintf(stderr,
+                     "FATAL: pattern sweep failed determinism/monotonicity\n");
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Bench-regression gate.
+
+Parses the BENCH_*.json reports the experiment harnesses just produced and
+fails (exit 1) when any committed floor in ci/bench_floors.json is
+violated, when a gated report is missing, or when a floor matches no row —
+a renamed bench must update its floor, not silently stop being gated.
+
+Floors are deliberately generous (a fraction of the measured value on a
+loaded CI runner): the gate exists to catch a perf feature being turned
+off or a determinism check going red, not to flag wall-clock noise.
+
+Usage: python3 ci/check_bench.py [--floors ci/bench_floors.json] [--dir .]
+"""
+
+import argparse
+import fnmatch
+import json
+import os
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--floors", default="ci/bench_floors.json")
+    ap.add_argument("--dir", default=".", help="directory with BENCH_*.json")
+    args = ap.parse_args()
+
+    with open(args.floors, encoding="utf-8") as f:
+        floors = json.load(f)["floors"]
+
+    failures = []
+    for floor in floors:
+        bench = floor["bench"]
+        row_glob = floor.get("row", "*")
+        field = floor["field"]
+        minimum = floor["min"]
+        path = os.path.join(args.dir, f"BENCH_{bench}.json")
+        if not os.path.exists(path):
+            failures.append(f"{path} missing (bench not run?)")
+            print(f"FAIL {bench}: {path} missing")
+            continue
+        with open(path, encoding="utf-8") as f:
+            rows = json.load(f)["rows"]
+        matched = [r for r in rows if fnmatch.fnmatch(r["name"], row_glob)]
+        if not matched:
+            failures.append(f"{bench}: no row matches '{row_glob}'")
+            print(f"FAIL {bench}: no row matches '{row_glob}'")
+            continue
+        for row in matched:
+            label = f"{bench}/{row['name']}.{field}"
+            if field not in row:
+                failures.append(f"{label} absent")
+                print(f"FAIL {label}: field absent")
+                continue
+            value = row[field]
+            if value >= minimum:
+                print(f"OK   {label} = {value:.6g} (floor {minimum:.6g})")
+            else:
+                failures.append(f"{label} = {value:.6g} below {minimum:.6g}")
+                print(f"FAIL {label} = {value:.6g} below floor {minimum:.6g}")
+
+    if failures:
+        print(f"\n{len(failures)} bench floor violation(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nall bench floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

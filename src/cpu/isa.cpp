@@ -59,7 +59,13 @@ std::string disassemble(u32 word) {
     const DecodedInstr d = decode(word);
     std::ostringstream os;
     os << mnemonic(d.op);
-    auto r = [](u8 n) { return "r" + std::to_string(n); };
+    // Built left-to-right (not operator+(const char*, string&&)): GCC 12's
+    // -Wrestrict false-positives on the rvalue insert path under -O2.
+    auto r = [](u8 n) {
+        std::string s{"r"};
+        s += std::to_string(n);
+        return s;
+    };
     switch (d.op) {
         case Op::Add: case Op::Sub: case Op::And: case Op::Or:
         case Op::Xor: case Op::Sll: case Op::Srl: case Op::Sra:

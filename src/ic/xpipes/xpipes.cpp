@@ -128,6 +128,8 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
             head.hdr.src_node = ni.node;
             head.hdr.dest_node = slave_node_[*slave_idx];
             head.hdr.is_resp = false;
+            head.hdr.inject = now_;
+            ni.inject = now_;
             ni.tx.push_back(head);
             ++flits_active_;
             ++stats_.packets_sent;
@@ -141,14 +143,14 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
                 ++flits_active_;
                 ni.beats = 1;
                 if (ni.beats == ni.burst) {
-                    ni.tx.push_back(Flit{Flit::Kind::Tail, false, 0, {}});
+                    ni.tx.push_back(make_tail(ni.inject));
                     ++flits_active_;
                     ni.st = MasterNi::St::Idle;
                 } else {
                     ni.st = MasterNi::St::CollectWrite;
                 }
             } else {
-                ni.tx.push_back(Flit{Flit::Kind::Tail, false, 0, {}});
+                ni.tx.push_back(make_tail(ni.inject));
                 ++flits_active_;
                 ni.st = MasterNi::St::AwaitResp;
             }
@@ -168,7 +170,7 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
             ++ni.beats;
             if (ni.beats == ni.burst) {
                 if (!ni.err) {
-                    ni.tx.push_back(Flit{Flit::Kind::Tail, false, 0, {}});
+                    ni.tx.push_back(make_tail(ni.inject));
                     ++flits_active_;
                 }
                 ni.st = MasterNi::St::Idle;
@@ -248,6 +250,10 @@ void XpipesNetwork::eval_slave_ni(SlaveNi& ni) {
             ch.m_resp_accept() = true;
             ch.touch_m();
             if (ni.beats_resp == 0) {
+                // Response packets are measured per packet: restamp with
+                // their own creation cycle (the request's delivery sample
+                // was already taken when its Tail reached this NI).
+                ni.hdr.inject = now_;
                 Flit head;
                 head.kind = Flit::Kind::Head;
                 head.hdr = ni.hdr;
@@ -269,7 +275,7 @@ void XpipesNetwork::eval_slave_ni(SlaveNi& ni) {
             ++flits_active_;
             ++ni.beats_resp;
             if (ni.beats_resp == ni.hdr.burst) {
-                ni.tx.push_back(Flit{Flit::Kind::Tail, false, 0, {}});
+                ni.tx.push_back(make_tail(ni.hdr.inject));
                 ++flits_active_;
                 ni.st = SlaveNi::St::Idle;
             }
@@ -400,12 +406,22 @@ void XpipesNetwork::eval_routers() {
             --flits_active_;
             if (mv.ni_is_master) {
                 MasterNi& ni = masters_[static_cast<std::size_t>(mv.ni_index)];
-                if (flit.kind == Flit::Kind::Payload)
+                if (flit.kind == Flit::Kind::Payload) {
                     ni.rx.push_back(RxBeat{flit.payload, flit.err});
+                } else if (flit.kind == Flit::Kind::Tail) {
+                    ++stats_.resp_packets_delivered;
+                    if (cfg_.collect_latency)
+                        stats_.packet_latency.record(now_ - flit.hdr.inject);
+                }
             } else {
                 SlaveNi& ni = slaves_[static_cast<std::size_t>(mv.ni_index)];
                 ni.rx.push_back(flit);
-                if (flit.kind == Flit::Kind::Tail) ++ni.tails_in_rx;
+                if (flit.kind == Flit::Kind::Tail) {
+                    ++ni.tails_in_rx;
+                    ++stats_.req_packets_delivered;
+                    if (cfg_.collect_latency)
+                        stats_.packet_latency.record(now_ - flit.hdr.inject);
+                }
             }
         } else {
             routers_[mv.dst_router].in[mv.plane][mv.dst_port].push_back(flit);

@@ -35,6 +35,7 @@
 
 #include "ic/address_map.hpp"
 #include "ic/interconnect.hpp"
+#include "stats/latency.hpp"
 
 namespace tgsim::ic {
 
@@ -46,6 +47,11 @@ struct XpipesConfig {
     /// active worklist. false = full scan over every router × plane × port,
     /// kept as the bit-identical reference for tests and benches.
     bool router_gating = true;
+    /// Collect per-packet latency samples into XpipesStats::packet_latency
+    /// (docs/traffic.md). Off by default: the stamps are always carried, but
+    /// sample storage is only paid for by the pattern/latency experiments.
+    /// Purely observational — wire behaviour is identical either way.
+    bool collect_latency = false;
 };
 
 struct XpipesStats {
@@ -59,6 +65,18 @@ struct XpipesStats {
     u64 router_visits = 0;
     u64 router_phase_cycles = 0; ///< cycles in which the router phase ran
     std::vector<u64> master_wait_cycles; ///< command asserted, NI busy
+    /// Offered vs accepted accounting (docs/traffic.md): request packets
+    /// whose Tail reached the destination slave NI, and response packets
+    /// whose Tail reached the requesting master NI. The offered side is the
+    /// generator's configured injection rate plus master_wait_cycles (cycles
+    /// a master held a command the NI could not yet take).
+    u64 req_packets_delivered = 0;
+    u64 resp_packets_delivered = 0;
+    /// Per-packet latency in cycles, head creation at the source NI (the
+    /// inject stamp carried in the head flit) to Tail delivery at the
+    /// destination NI; both planes sampled. Populated only when
+    /// XpipesConfig::collect_latency.
+    stats::LatencyStats packet_latency;
 };
 
 class XpipesNetwork final : public Interconnect {
@@ -72,10 +90,15 @@ public:
                               int node) override;
 
     void eval() override;
-    void update() override {}
+    void update() override { ++now_; }
     [[nodiscard]] Cycle quiet_for() const override {
         return (!any_activity_ && flits_active_ == 0) ? sim::kQuietForever : 0;
     }
+    /// Keeps the local cycle counter (latency stamps) aligned with kernel
+    /// time across gated jumps. Packets only exist while the network is
+    /// clocked every cycle (quiet_for() is 0 whenever flits are in flight),
+    /// so stamp arithmetic is exact in all scheduling modes.
+    void advance(Cycle cycles) override { now_ += cycles; }
     // Activity subscription: Interconnect::watch_inputs (all master gens) —
     // a drained network (no flits, idle NIs) only reacts to a master
     // asserting a command at one of the master NIs.
@@ -103,6 +126,10 @@ private:
         u16 src_node = 0;  ///< requester's node (response routing)
         u16 dest_node = 0; ///< routing target
         bool is_resp = false;
+        /// Cycle the packet's head was created at the source NI (latency
+        /// stamping, docs/traffic.md). Also copied onto the packet's Tail
+        /// flit so the sample is taken when delivery completes.
+        Cycle inject = 0;
     };
 
     struct Flit {
@@ -113,7 +140,8 @@ private:
         /// replayed as Resp::Err at the requesting master NI.
         bool err = false;
         u32 payload = 0;
-        FlitHeader hdr; ///< meaningful on Head flits only
+        /// Meaningful on Head flits; Tail flits carry hdr.inject only.
+        FlitHeader hdr;
     };
 
     struct Router {
@@ -142,6 +170,7 @@ private:
         u16 beats = 0;     ///< accepted write beats
         u16 resp_sent = 0; ///< response beats forwarded to the master
         bool err = false;  ///< decode failure: synthesize ERR beats
+        Cycle inject = 0;  ///< head-creation stamp of the packet in flight
         std::deque<Flit> tx;   ///< flits awaiting injection (plane 0)
         std::deque<RxBeat> rx; ///< response beats received
     };
@@ -175,6 +204,15 @@ private:
         bool ni_is_master = false;
     };
 
+    /// Tail flit carrying its packet's inject stamp (latency sampling at
+    /// delivery).
+    [[nodiscard]] static Flit make_tail(Cycle inject) noexcept {
+        Flit f;
+        f.kind = Flit::Kind::Tail;
+        f.hdr.inject = inject;
+        return f;
+    }
+
     [[nodiscard]] int route(u16 node, const FlitHeader& hdr) const noexcept;
     [[nodiscard]] std::optional<std::size_t> neighbor(u16 node, int port) const noexcept;
 
@@ -196,6 +234,9 @@ private:
     std::vector<u16> slave_node_;     ///< slave index -> node
     XpipesStats stats_;
     bool any_activity_ = false;
+    /// Local cycle counter, bit-aligned with sim::Kernel::now() (update()
+    /// increments, advance() jumps); the time base for latency stamps.
+    Cycle now_ = 0;
     /// Flits currently inside the network (router FIFOs + NI tx queues);
     /// the router phase is skipped when zero.
     u32 flits_active_ = 0;

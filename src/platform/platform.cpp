@@ -37,10 +37,10 @@ void Platform::build_fabric() {
         case IcKind::Xpipes: {
             ic::XpipesConfig xc = cfg_.xpipes;
             if (xc.width == 0 || xc.height == 0) {
-                const u32 nodes = n + 2;
+                const u32 nodes = xpipes_nodes_needed(n);
                 xc.width = static_cast<u32>(
                     std::ceil(std::sqrt(static_cast<double>(nodes))));
-                xc.height = (nodes + xc.width - 1) / xc.width;
+                xc.height = xpipes_height_for(n, xc.width);
             }
             ic_ = std::make_unique<ic::XpipesNetwork>(xc);
             break;

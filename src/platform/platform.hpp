@@ -35,6 +35,22 @@ namespace tgsim::platform {
 
 enum class IcKind : u8 { Amba, Crossbar, Xpipes };
 
+/// Mesh nodes a ×pipes platform needs for `n_cores` cores: one per core
+/// (master NI + co-located private memory) plus one each for the shared
+/// memory and the semaphore bank — build_fabric()'s layout, kept here so
+/// surfaces that pick explicit mesh dimensions (tgsim_patterns,
+/// bench/pattern_sweep) cannot drift from it.
+[[nodiscard]] constexpr u32 xpipes_nodes_needed(u32 n_cores) noexcept {
+    return n_cores + 2;
+}
+
+/// Physical mesh height for a row-major core grid of the given width:
+/// cores occupy nodes [0, n_cores) so logical grid coordinates equal
+/// physical mesh coordinates; the extra slaves fill the row(s) below.
+[[nodiscard]] constexpr u32 xpipes_height_for(u32 n_cores, u32 width) noexcept {
+    return (xpipes_nodes_needed(n_cores) + width - 1) / width;
+}
+
 [[nodiscard]] constexpr std::string_view to_string(IcKind k) noexcept {
     switch (k) {
         case IcKind::Amba: return "amba";

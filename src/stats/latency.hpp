@@ -1,0 +1,99 @@
+// Latency accumulator for the synthetic traffic-pattern experiments.
+//
+// Collects per-packet latency samples (cycles) and summarises them as the
+// standard NoC evaluation metrics: mean, median, tail percentile, extremes.
+// Percentiles use the nearest-rank definition — for p in (0, 100] the value
+// returned is the ceil(p/100 * N)-th smallest sample — so fixtures can be
+// hand-computed exactly (tests/stats_test.cpp) and results never depend on
+// interpolation rounding. Throughput (packets per cycle) needs the elapsed
+// cycle count, which the accumulator does not know; callers derive it from
+// count() and their own clock (see sweep::SweepResult::accepted_rate).
+//
+// Samples are kept raw (8 bytes each) rather than binned: pattern sweeps
+// collect at most total_transactions * n_cores * 2 samples, far below the
+// point where binning would matter, and raw samples keep p99 exact.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace tgsim::stats {
+
+class LatencyStats {
+public:
+    void record(u64 sample) {
+        samples_.push_back(sample);
+        sum_ += sample;
+        if (samples_.size() == 1) {
+            min_ = max_ = sample;
+        } else {
+            min_ = std::min(min_, sample);
+            max_ = std::max(max_, sample);
+        }
+    }
+
+    [[nodiscard]] u64 count() const noexcept { return samples_.size(); }
+    [[nodiscard]] u64 min() const noexcept { return min_; }
+    [[nodiscard]] u64 max() const noexcept { return max_; }
+    [[nodiscard]] u64 sum() const noexcept { return sum_; }
+    [[nodiscard]] double mean() const noexcept {
+        return samples_.empty()
+                   ? 0.0
+                   : static_cast<double>(sum_) /
+                         static_cast<double>(samples_.size());
+    }
+
+    /// Nearest-rank percentile; `p` in (0, 100]. Empty stats return 0.
+    /// O(n) via nth_element on a scratch copy — called a handful of times
+    /// per run, never per cycle.
+    [[nodiscard]] u64 percentile(double p) const {
+        if (samples_.empty()) return 0;
+        const auto n = samples_.size();
+        std::size_t rank = static_cast<std::size_t>(
+            std::max(1.0, std::ceil(p / 100.0 * static_cast<double>(n))));
+        if (rank > n) rank = n;
+        std::vector<u64> scratch = samples_;
+        std::nth_element(scratch.begin(), scratch.begin() + (rank - 1),
+                         scratch.end());
+        return scratch[rank - 1];
+    }
+
+    struct Summary {
+        u64 count = 0;
+        u64 min = 0;
+        u64 p50 = 0;
+        u64 p99 = 0;
+        u64 max = 0;
+        double mean = 0.0;
+    };
+
+    [[nodiscard]] Summary summary() const {
+        Summary s;
+        s.count = count();
+        if (s.count == 0) return s;
+        s.min = min_;
+        s.max = max_;
+        s.mean = mean();
+        s.p50 = percentile(50.0);
+        s.p99 = percentile(99.0);
+        return s;
+    }
+
+    /// Samples per elapsed cycle; 0 when nothing elapsed.
+    [[nodiscard]] double throughput(Cycle elapsed) const noexcept {
+        return elapsed == 0 ? 0.0
+                            : static_cast<double>(samples_.size()) /
+                                  static_cast<double>(elapsed);
+    }
+
+private:
+    std::vector<u64> samples_;
+    u64 sum_ = 0;
+    u64 min_ = 0;
+    u64 max_ = 0;
+};
+
+} // namespace tgsim::stats

@@ -29,7 +29,12 @@ bool bit_identical(const SweepResult& a, const SweepResult& b) {
            a.contention_cycles == b.contention_cycles &&
            a.busy_pct == b.busy_pct && a.has_cpu_truth == b.has_cpu_truth &&
            a.cpu_completed == b.cpu_completed && a.cpu_cycles == b.cpu_cycles &&
-           a.err_pct == b.err_pct;
+           a.err_pct == b.err_pct && a.has_latency == b.has_latency &&
+           a.offered_rate == b.offered_rate &&
+           a.accepted_rate == b.accepted_rate && a.packets == b.packets &&
+           a.lat_count == b.lat_count && a.lat_mean == b.lat_mean &&
+           a.lat_p50 == b.lat_p50 && a.lat_p99 == b.lat_p99 &&
+           a.lat_max == b.lat_max;
 }
 
 u64 derive_seed(u64 base, u32 candidate_index, u32 core) {
@@ -100,6 +105,73 @@ std::vector<Candidate> make_grid(const GridSpec& spec) {
         add(cfg);
     }
     return out;
+}
+
+std::vector<Candidate> make_rate_sweep(const platform::PlatformConfig& base,
+                                       const std::vector<double>& rates) {
+    std::vector<Candidate> out;
+    out.reserve(rates.size());
+    for (const double rate : rates) {
+        Candidate c;
+        c.cfg = base;
+        c.cfg.xpipes.collect_latency = true;
+        c.injection_rate = rate;
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "rate=%.4f", rate);
+        c.name = buf;
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+SaturationPoint find_saturation(const std::vector<SweepResult>& rate_ordered) {
+    SaturationPoint sat;
+    double zero_load = 0.0;
+    bool have_zero_load = false;
+    double best_accepted = -1.0;
+    u32 best_index = 0;
+    const SweepResult* prev = nullptr;
+    for (u32 i = 0; i < rate_ordered.size(); ++i) {
+        const SweepResult& r = rate_ordered[i];
+        if (!r.ok() || !r.has_latency || r.lat_count == 0) continue;
+        if (!have_zero_load) {
+            zero_load = r.lat_mean;
+            have_zero_load = true;
+        }
+        if (r.accepted_rate > best_accepted) {
+            best_accepted = r.accepted_rate;
+            best_index = i;
+        }
+        // Saturated when latency has left the flat region of the curve, or
+        // when pushing noticeably more offered load no longer buys
+        // accepted throughput (the plateau). Offered-vs-accepted shortfall
+        // alone is NOT a signal: the closed-loop generator sheds load
+        // whenever 1/rate approaches its own service time, long before the
+        // mesh is stressed (docs/traffic.md).
+        const bool latency_blowup =
+            zero_load > 0.0 && r.lat_mean >= 3.0 * zero_load;
+        const bool plateau =
+            prev != nullptr && r.offered_rate >= 1.25 * prev->offered_rate &&
+            r.accepted_rate <= prev->accepted_rate * 1.08;
+        if (latency_blowup || plateau) {
+            sat.found = true;
+            sat.index = i;
+            sat.offered = r.offered_rate;
+            sat.throughput = best_accepted; // knee: best rate seen so far
+            sat.mean_latency = r.lat_mean;
+            return sat;
+        }
+        prev = &r;
+    }
+    // Never saturated in the swept range: report the best point observed.
+    if (best_accepted >= 0.0) {
+        const SweepResult& r = rate_ordered[best_index];
+        sat.index = best_index;
+        sat.offered = r.offered_rate;
+        sat.throughput = best_accepted;
+        sat.mean_latency = r.lat_mean;
+    }
+    return sat;
 }
 
 namespace {
@@ -183,6 +255,20 @@ std::string json_report(const std::vector<SweepResult>& results,
                    r.cpu_completed ? "true" : "false",
                    static_cast<unsigned long long>(r.cpu_cycles),
                    r.cpu_wall_seconds, r.err_pct);
+        if (r.has_latency) {
+            append(out,
+                   ", \"offered_rate\": %.6f, \"accepted_rate\": %.6f"
+                   ", \"packets\": %llu",
+                   r.offered_rate, r.accepted_rate,
+                   static_cast<unsigned long long>(r.packets));
+            append(out,
+                   ", \"lat_count\": %llu, \"lat_mean\": %.4f"
+                   ", \"lat_p50\": %llu, \"lat_p99\": %llu, \"lat_max\": %llu",
+                   static_cast<unsigned long long>(r.lat_count), r.lat_mean,
+                   static_cast<unsigned long long>(r.lat_p50),
+                   static_cast<unsigned long long>(r.lat_p99),
+                   static_cast<unsigned long long>(r.lat_max));
+        }
         out += "}";
     }
     out += "\n  ]\n}\n";
@@ -227,6 +313,13 @@ SweepDriver::SweepDriver(std::vector<tg::StochasticConfig> configs,
         throw std::invalid_argument{"SweepDriver: empty stochastic payload"};
 }
 
+SweepDriver::SweepDriver(tg::PatternConfig pattern, apps::Workload context)
+    : n_cores_(pattern.width * pattern.height),
+      pattern_(pattern),
+      context_(std::move(context)) {
+    tg::validate(pattern); // fail at construction, not per candidate
+}
+
 SweepResult SweepDriver::evaluate(const Candidate& cand, u32 index,
                                   const SweepOptions& opts) const {
     SweepResult r;
@@ -242,6 +335,16 @@ SweepResult SweepDriver::evaluate(const Candidate& cand, u32 index,
         platform::Platform p{cfg};
         if (!binaries_.empty()) {
             p.load_tg_binaries(binaries_, context_);
+        } else if (pattern_) {
+            tg::PatternConfig pc = *pattern_;
+            if (cand.injection_rate > 0.0)
+                pc.injection_rate = cand.injection_rate;
+            std::vector<tg::StochasticConfig> seeded =
+                tg::make_pattern_configs(pc);
+            for (u32 core = 0; core < n_cores_; ++core)
+                seeded[core].seed = derive_seed(opts.seed, index, core);
+            p.load_stochastic(seeded, context_);
+            r.offered_rate = pc.injection_rate;
         } else {
             std::vector<tg::StochasticConfig> seeded = stochastic_;
             for (u32 core = 0; core < n_cores_; ++core)
@@ -259,6 +362,28 @@ SweepResult SweepDriver::evaluate(const Candidate& cand, u32 index,
         if (res.completed && res.cycles > 0)
             r.busy_pct = 100.0 * static_cast<double>(r.busy_cycles) /
                          static_cast<double>(res.cycles);
+
+        // Load–latency harvest: only the ×pipes mesh stamps packets, and
+        // only when the candidate asked for sample collection.
+        if (cfg.ic == platform::IcKind::Xpipes && cfg.xpipes.collect_latency) {
+            const auto* mesh =
+                dynamic_cast<const ic::XpipesNetwork*>(&p.interconnect());
+            if (mesh != nullptr) {
+                const ic::XpipesStats& xs = mesh->stats();
+                const auto lat = xs.packet_latency.summary();
+                r.has_latency = true;
+                r.packets = xs.req_packets_delivered;
+                if (r.cycles > 0)
+                    r.accepted_rate = static_cast<double>(r.packets) /
+                                      static_cast<double>(r.cycles) /
+                                      static_cast<double>(n_cores_);
+                r.lat_count = lat.count;
+                r.lat_mean = lat.mean;
+                r.lat_p50 = lat.p50;
+                r.lat_p99 = lat.p99;
+                r.lat_max = lat.max;
+            }
+        }
         if (!res.completed) {
             r.error = "timeout/livelock within the cycle budget";
             r.failure = FailureKind::Timeout;

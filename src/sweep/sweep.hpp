@@ -20,8 +20,11 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "apps/workload.hpp"
 #include "platform/platform.hpp"
+#include "tg/patterns.hpp"
 #include "tg/program.hpp"
 #include "tg/stochastic.hpp"
 
@@ -33,6 +36,12 @@ namespace tgsim::sweep {
 struct Candidate {
     std::string name;
     platform::PlatformConfig cfg;
+    /// Injection-rate override for pattern payloads (transactions per core
+    /// per cycle); 0 keeps the payload's base rate. Ignored by TG and plain
+    /// stochastic payloads. This is what lets a load–latency sweep ride the
+    /// driver: same fabric, one candidate per offered rate
+    /// (make_rate_sweep()).
+    double injection_rate = 0.0;
 };
 
 struct SweepOptions {
@@ -93,6 +102,24 @@ struct SweepResult {
     double cpu_wall_seconds = 0.0;
     double err_pct = 0.0; ///< TG vs CPU completion-time error, percent
 
+    /// Load–latency instrumentation (valid when has_latency: a ×pipes
+    /// candidate with XpipesConfig::collect_latency). All deterministic —
+    /// included in bit_identical(). Rates are transactions per core per
+    /// cycle; offered is the configured injection rate, accepted is what
+    /// the mesh actually took (request packets delivered / cycles / cores).
+    bool has_latency = false;
+    double offered_rate = 0.0;
+    double accepted_rate = 0.0;
+    u64 packets = 0;        ///< request packets delivered to slave NIs
+    u64 lat_count = 0;      ///< latency samples (both planes)
+    double lat_mean = 0.0;  ///< cycles, head creation -> tail delivery
+    u64 lat_p50 = 0;
+    u64 lat_p99 = 0;
+    u64 lat_max = 0;
+    // NI reject accounting (command asserted, master NI busy) is the
+    // existing contention_cycles field — the mesh reports exactly its
+    // master_wait_cycles sum there.
+
     [[nodiscard]] bool ok() const noexcept { return error.empty(); }
 };
 
@@ -127,6 +154,31 @@ struct GridSpec {
 };
 
 [[nodiscard]] std::vector<Candidate> make_grid(const GridSpec& spec);
+
+/// One candidate per offered injection rate over a fixed fabric — the
+/// load–latency curve grid. Latency collection is switched on in each
+/// candidate's ×pipes config; rates should be passed in ascending order
+/// (find_saturation() reads the results positionally).
+[[nodiscard]] std::vector<Candidate> make_rate_sweep(
+    const platform::PlatformConfig& base, const std::vector<double>& rates);
+
+/// Saturation analysis over rate-ordered results (docs/traffic.md): the
+/// saturation point is the first rate where mean latency exceeds 3x the
+/// zero-load latency (the curve's lowest-rate point), or where >= 25% more
+/// offered load buys <= 8% more accepted throughput (the plateau). The
+/// saturation throughput is the highest accepted rate at or before that
+/// point. When the swept range never saturates, `found` is false and the
+/// fields describe the highest accepted rate observed.
+struct SaturationPoint {
+    bool found = false;
+    u32 index = 0; ///< index into the rate-ordered results
+    double offered = 0.0;
+    double throughput = 0.0; ///< accepted transactions per core per cycle
+    double mean_latency = 0.0;
+};
+
+[[nodiscard]] SaturationPoint find_saturation(
+    const std::vector<SweepResult>& rate_ordered);
 
 /// Report header recorded alongside the per-candidate rows.
 struct SweepMeta {
@@ -168,6 +220,12 @@ public:
     SweepDriver(std::vector<tg::StochasticConfig> configs,
                 apps::Workload context);
 
+    /// Synthetic traffic-pattern payload (src/tg/patterns.hpp): per-core
+    /// stochastic configs are derived from the pattern inside each worker,
+    /// honouring the candidate's injection_rate override and reseeding from
+    /// derive_seed — so a rate sweep is bit-identical at any worker count.
+    SweepDriver(tg::PatternConfig pattern, apps::Workload context);
+
     /// Evaluates every candidate, `opts.jobs` at a time, one Platform
     /// constructed/run/destroyed per worker iteration. Returns one result
     /// per candidate, in candidate order, regardless of completion order.
@@ -184,6 +242,7 @@ private:
     u32 n_cores_ = 0;
     std::vector<tg::AssembledTg> binaries_;       ///< TG payload (if any)
     std::vector<tg::StochasticConfig> stochastic_; ///< stochastic payload
+    std::optional<tg::PatternConfig> pattern_;    ///< pattern payload
     apps::Workload context_;
 };
 

@@ -15,12 +15,24 @@ std::string hex32(u32 v) {
     return buf;
 }
 
-std::string reg_name(u8 r) { return "r" + std::to_string(r); }
+// These build left-to-right (not operator+(const char*, string&&)): GCC
+// 12's -Wrestrict false-positives on the rvalue insert path under -O2.
+std::string reg_name(u8 r) {
+    std::string s{"r"};
+    s += std::to_string(r);
+    return s;
+}
+
+std::string numbered_label(u32 index) {
+    std::string s{"L"};
+    s += std::to_string(index);
+    return s;
+}
 
 std::string label_for(const TgProgram& prog, u32 index) {
     const auto it = prog.labels.find(index);
     if (it != prog.labels.end()) return it->second;
-    return "L" + std::to_string(index);
+    return numbered_label(index);
 }
 
 /// Trims whitespace and strips ';' comments.
@@ -457,7 +469,7 @@ TgProgram disassemble(const std::vector<u32>& image) {
         if (it == word_to_index.end())
             throw std::invalid_argument{"disassemble: branch into instruction middle"};
         prog.instrs[target_instrs[k]].target = it->second;
-        prog.labels[it->second] = "L" + std::to_string(it->second);
+        prog.labels[it->second] = numbered_label(it->second);
     }
     return prog;
 }

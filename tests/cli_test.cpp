@@ -54,7 +54,7 @@ using CliArgsDeath = testing::Test;
 
 TEST(CliArgsDeath, GarbageNumericFlagExits) {
     const auto args = make_args({"--jobs=abc"});
-    EXPECT_EXIT(args.get_u64("jobs", 0), testing::ExitedWithCode(1),
+    EXPECT_EXIT((void)args.get_u64("jobs", 0), testing::ExitedWithCode(1),
                 "--jobs: invalid number 'abc'");
 }
 
@@ -62,14 +62,14 @@ TEST(CliArgsDeath, OutOfU32RangeFlagExits) {
     // 2^32 + 4 is a valid u64, but a u32 consumer must not truncate it to 4.
     const auto args = make_args({"--cores=4294967300"});
     EXPECT_EQ(args.get_u64("cores", 0), 4294967300ull);
-    EXPECT_EXIT(args.get_u32("cores", 0), testing::ExitedWithCode(1),
+    EXPECT_EXIT((void)args.get_u32("cores", 0), testing::ExitedWithCode(1),
                 "--cores: value '4294967300' out of 32-bit range");
 }
 
 TEST(CliArgsDeath, ValuelessNumericFlagExits) {
     // "--jobs" with no value used to strtoull("") -> 0 silently.
     const auto args = make_args({"--jobs"});
-    EXPECT_EXIT(args.get_u64("jobs", 0), testing::ExitedWithCode(1),
+    EXPECT_EXIT((void)args.get_u64("jobs", 0), testing::ExitedWithCode(1),
                 "--jobs: invalid number ''");
 }
 

@@ -314,8 +314,12 @@ TEST(CpuExec, TakenBranchPenaltyPinned) {
             a.movi(Reg::R1, 1);
             for (u32 i = 0; i < 10; ++i) {
                 if (taken) {
-                    a.beq(Reg::R0, Reg::R0, "t" + std::to_string(i));
-                    a.bind("t" + std::to_string(i));
+                    // Left-to-right build dodges GCC 12's -Wrestrict false
+                    // positive on operator+(const char*, string&&).
+                    std::string label{"t"};
+                    label += std::to_string(i);
+                    a.beq(Reg::R0, Reg::R0, label);
+                    a.bind(label);
                 } else {
                     a.beq(Reg::R1, Reg::R0, "never");
                 }

@@ -1,0 +1,99 @@
+// stats::LatencyStats — hand-computed fixtures pinning the nearest-rank
+// percentile definition the pattern sweeps report. If these change, every
+// published load–latency curve changes meaning with them.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/latency.hpp"
+
+namespace tgsim::stats {
+namespace {
+
+TEST(LatencyStats, EmptyIsAllZero) {
+    LatencyStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.percentile(50.0), 0u);
+    EXPECT_EQ(s.percentile(99.0), 0u);
+    const auto sum = s.summary();
+    EXPECT_EQ(sum.count, 0u);
+    EXPECT_EQ(sum.p50, 0u);
+    EXPECT_EQ(sum.p99, 0u);
+    EXPECT_DOUBLE_EQ(sum.mean, 0.0);
+    EXPECT_DOUBLE_EQ(s.throughput(1000), 0.0);
+}
+
+TEST(LatencyStats, SingleSampleIsEveryPercentile) {
+    LatencyStats s;
+    s.record(42);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.min(), 42u);
+    EXPECT_EQ(s.max(), 42u);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_EQ(s.percentile(1.0), 42u);
+    EXPECT_EQ(s.percentile(50.0), 42u);
+    EXPECT_EQ(s.percentile(99.0), 42u);
+    EXPECT_EQ(s.percentile(100.0), 42u);
+}
+
+TEST(LatencyStats, NearestRankFourSamples) {
+    // Sorted samples {10, 20, 30, 40}: rank = ceil(p/100 * 4).
+    //   p25 -> rank 1 -> 10      p50 -> rank 2 -> 20
+    //   p75 -> rank 3 -> 30      p99 -> rank 4 -> 40
+    LatencyStats s;
+    for (const u64 v : {30u, 10u, 40u, 20u}) s.record(v); // insertion order free
+    EXPECT_EQ(s.percentile(25.0), 10u);
+    EXPECT_EQ(s.percentile(50.0), 20u);
+    EXPECT_EQ(s.percentile(75.0), 30u);
+    EXPECT_EQ(s.percentile(99.0), 40u);
+    EXPECT_EQ(s.percentile(100.0), 40u);
+    EXPECT_DOUBLE_EQ(s.mean(), 25.0);
+    EXPECT_EQ(s.min(), 10u);
+    EXPECT_EQ(s.max(), 40u);
+}
+
+TEST(LatencyStats, HundredSamples) {
+    // 1..100 (shuffled deterministically): rank = ceil(p), so p50 = 50,
+    // p99 = 99, p1 = 1; mean is exactly 50.5.
+    LatencyStats s;
+    for (u64 i = 0; i < 100; ++i) s.record((i * 37) % 100 + 1);
+    EXPECT_EQ(s.count(), 100u);
+    EXPECT_EQ(s.percentile(1.0), 1u);
+    EXPECT_EQ(s.percentile(50.0), 50u);
+    EXPECT_EQ(s.percentile(99.0), 99u);
+    EXPECT_EQ(s.percentile(100.0), 100u);
+    EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+    EXPECT_EQ(s.min(), 1u);
+    EXPECT_EQ(s.max(), 100u);
+}
+
+TEST(LatencyStats, OddCountMedian) {
+    // {5, 7, 9}: p50 -> rank ceil(1.5) = 2 -> 7 (the true median).
+    LatencyStats s;
+    for (const u64 v : {9u, 5u, 7u}) s.record(v);
+    EXPECT_EQ(s.percentile(50.0), 7u);
+    EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+}
+
+TEST(LatencyStats, SummaryMatchesDirectQueries) {
+    LatencyStats s;
+    for (u64 i = 1; i <= 10; ++i) s.record(i * i);
+    const auto sum = s.summary();
+    EXPECT_EQ(sum.count, 10u);
+    EXPECT_EQ(sum.min, 1u);
+    EXPECT_EQ(sum.max, 100u);
+    EXPECT_EQ(sum.p50, s.percentile(50.0));
+    EXPECT_EQ(sum.p99, s.percentile(99.0));
+    EXPECT_DOUBLE_EQ(sum.mean, s.mean());
+}
+
+TEST(LatencyStats, Throughput) {
+    LatencyStats s;
+    for (int i = 0; i < 50; ++i) s.record(1);
+    EXPECT_DOUBLE_EQ(s.throughput(1000), 0.05);
+    EXPECT_DOUBLE_EQ(s.throughput(0), 0.0);
+}
+
+} // namespace
+} // namespace tgsim::stats

@@ -141,6 +141,38 @@ inline std::vector<std::string> split_list(const std::string& value) {
     return out;
 }
 
+/// Parses one mesh spec: "auto" (dimensions chosen by the platform) or
+/// "WxH", e.g. "3x3". Shared by tgsim_sweep (candidate grids) and
+/// tgsim_patterns (logical core grid — which rejects "auto" itself).
+inline std::optional<ic::XpipesConfig> parse_mesh(const std::string& spec,
+                                                  u32 fifo_depth) {
+    ic::XpipesConfig mesh{0, 0, fifo_depth};
+    if (spec == "auto") return mesh;
+    const auto x = spec.find('x');
+    if (x == std::string::npos || x == 0 || x + 1 == spec.size())
+        return std::nullopt;
+    char* end = nullptr;
+    mesh.width = static_cast<u32>(std::strtoul(spec.c_str(), &end, 10));
+    if (end != spec.c_str() + x) return std::nullopt;
+    mesh.height =
+        static_cast<u32>(std::strtoul(spec.c_str() + x + 1, &end, 10));
+    if (*end != '\0') return std::nullopt; // reject trailing junk ("3x2x2")
+    if (mesh.width == 0 || mesh.height == 0) return std::nullopt;
+    return mesh;
+}
+
+/// Strict double parse for rate lists; the whole string must be consumed,
+/// the value finite and non-negative.
+inline std::optional<double> parse_rate(const std::string& s) {
+    if (s.empty()) return std::nullopt;
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size() || errno == ERANGE) return std::nullopt;
+    if (!(v >= 0.0) || v > 1.0e9) return std::nullopt;
+    return v;
+}
+
 inline std::optional<platform::IcKind> parse_ic(const std::string& name) {
     if (name == "amba") return platform::IcKind::Amba;
     if (name == "crossbar") return platform::IcKind::Crossbar;

@@ -1,0 +1,183 @@
+// tgsim-patterns — synthetic traffic-pattern sweeps with load–latency
+// instrumentation (docs/traffic.md).
+//
+//   tgsim-patterns --pattern=transpose --mesh=4x4
+//                  [--rates=0.005,0.01,...] [--process=uniform|poisson|bursty]
+//                  [--packets=N] [--reads=F] [--burst-frac=F] [--burst-len=N]
+//                  [--hotspot=CORE] [--hotspot-frac=F] [--fifo=N]
+//                  [--jobs=N] [--json=PATH] [--max-cycles=N]
+//
+// --mesh gives the *logical core grid* (n_cores = W*H); the physical ×pipes
+// mesh is laid out row-major with the same width, cores on nodes [0, W*H)
+// and the shared memory + semaphore bank on the extra row — so logical grid
+// coordinates equal physical mesh coordinates and the classic destination
+// functions (transpose, tornado, ...) stress exactly the links they name.
+//
+// Each --rates point becomes one sweep candidate (sweep::make_rate_sweep)
+// evaluated by sweep::SweepDriver --jobs at a time; results are
+// bit-identical at any --jobs (bench/pattern_sweep.cpp enforces this in
+// CI). The tool prints the load–latency table, reports the saturation
+// throughput (sweep::find_saturation), and optionally writes the standard
+// sweep JSON report with the latency columns.
+#include <cstdio>
+
+#include "cli.hpp"
+#include "sweep/sweep.hpp"
+#include "tg/patterns.hpp"
+
+using namespace tgsim;
+
+int main(int argc, char** argv) {
+    const cli::Args args{argc, argv};
+
+    const std::string pattern_name = args.get("pattern", "uniform_random");
+    const auto pattern = tg::parse_pattern(pattern_name);
+    if (!pattern) {
+        std::fprintf(stderr,
+                     "unknown --pattern '%s' (uniform_random|bit_complement|"
+                     "transpose|shuffle|tornado|neighbor|hotspot)\n",
+                     pattern_name.c_str());
+        return 1;
+    }
+
+    const std::string mesh_spec = args.get("mesh", "4x4");
+    const u32 fifo = args.get_u32("fifo", 4);
+    const auto mesh = cli::parse_mesh(mesh_spec, fifo);
+    if (!mesh || mesh->width == 0) { // patterns need explicit dimensions
+        std::fprintf(stderr, "bad --mesh spec '%s' (WxH, e.g. 4x4)\n",
+                     mesh_spec.c_str());
+        return 1;
+    }
+
+    tg::PatternConfig pc;
+    pc.pattern = *pattern;
+    pc.width = mesh->width;
+    pc.height = mesh->height;
+    pc.process = tg::ArrivalProcess::Poisson;
+    const std::string process = args.get("process", "poisson");
+    if (process == "uniform") pc.process = tg::ArrivalProcess::Uniform;
+    else if (process == "bursty") pc.process = tg::ArrivalProcess::Bursty;
+    else if (process != "poisson") {
+        std::fprintf(stderr, "bad --process '%s' (uniform|poisson|bursty)\n",
+                     process.c_str());
+        return 1;
+    }
+    pc.packets_per_core = args.get_u64("packets", 2000);
+    pc.burst_len = static_cast<u16>(args.get_u32("burst-len", 4));
+    pc.hotspot_core = args.get_u32("hotspot", 0);
+    if (const std::string v = args.get("reads", ""); !v.empty())
+        pc.read_fraction = cli::parse_rate(v).value_or(-1.0);
+    if (const std::string v = args.get("burst-frac", ""); !v.empty())
+        pc.burst_fraction = cli::parse_rate(v).value_or(-1.0);
+    if (const std::string v = args.get("hotspot-frac", ""); !v.empty())
+        pc.hotspot_fraction = cli::parse_rate(v).value_or(-1.0);
+    if (pc.read_fraction < 0.0 || pc.read_fraction > 1.0 ||
+        pc.burst_fraction < 0.0 || pc.burst_fraction > 1.0 ||
+        pc.hotspot_fraction < 0.0 || pc.hotspot_fraction > 1.0) {
+        std::fprintf(stderr, "bad fraction flag (must be in [0, 1])\n");
+        return 1;
+    }
+
+    // Offered-rate ladder, ascending (find_saturation reads it in order).
+    std::vector<double> rates;
+    for (const std::string& tok : cli::split_list(args.get(
+             "rates", "0.005,0.01,0.02,0.04,0.08,0.16,0.32,0.64,1.0"))) {
+        const auto r = cli::parse_rate(tok);
+        if (!r || *r <= 0.0 || *r > 1.0) {
+            std::fprintf(stderr, "bad --rates entry '%s' (need (0,1])\n",
+                         tok.c_str());
+            return 1;
+        }
+        if (!rates.empty() && *r <= rates.back()) {
+            std::fprintf(stderr, "--rates must be strictly ascending\n");
+            return 1;
+        }
+        rates.push_back(*r);
+    }
+    if (rates.empty()) {
+        std::fprintf(stderr, "--rates is empty\n");
+        return 1;
+    }
+    pc.injection_rate = rates.front();
+
+    const u32 n_cores = pc.width * pc.height;
+    platform::PlatformConfig base;
+    base.ic = platform::IcKind::Xpipes;
+    base.xpipes.width = pc.width;
+    base.xpipes.height = platform::xpipes_height_for(n_cores, pc.width);
+    base.xpipes.fifo_depth = fifo;
+
+    apps::Workload context; // patterns compute nothing: empty images/checks
+    context.name = "pattern_" + std::string{tg::to_string(pc.pattern)};
+
+    sweep::SweepOptions opts;
+    opts.jobs = cli::get_jobs(args);
+    opts.max_cycles = args.get_u64("max-cycles", 100'000'000);
+
+    std::vector<sweep::SweepResult> results;
+    try {
+        const sweep::SweepDriver driver{pc, context};
+        const auto candidates = sweep::make_rate_sweep(base, rates);
+        const u32 jobs = sweep::resolve_jobs(opts.jobs, candidates.size());
+        std::printf("%s on a %ux%u core grid (%ux%u mesh, fifo %u), "
+                    "%llu packets/core, %s arrivals, %u workers\n\n",
+                    std::string{tg::to_string(pc.pattern)}.c_str(), pc.width,
+                    pc.height, base.xpipes.width, base.xpipes.height, fifo,
+                    static_cast<unsigned long long>(pc.packets_per_core),
+                    process.c_str(), jobs);
+        results = driver.run(candidates, opts);
+
+        std::printf("%-12s %10s %10s %9s %8s %8s %8s %10s\n", "candidate",
+                    "offered", "accepted", "mean lat", "p50", "p99",
+                    "max", "NI wait");
+        bool setup_error = false;
+        for (const sweep::SweepResult& r : results) {
+            if (r.failure == sweep::FailureKind::SetupError) {
+                std::printf("%-12s SETUP ERROR: %s\n", r.name.c_str(),
+                            r.error.c_str());
+                setup_error = true;
+                continue;
+            }
+            if (!r.ok()) {
+                std::printf("%-12s %s\n", r.name.c_str(), r.error.c_str());
+                continue;
+            }
+            std::printf("%-12s %10.4f %10.4f %9.1f %8llu %8llu %8llu %10llu\n",
+                        r.name.c_str(), r.offered_rate, r.accepted_rate,
+                        r.lat_mean,
+                        static_cast<unsigned long long>(r.lat_p50),
+                        static_cast<unsigned long long>(r.lat_p99),
+                        static_cast<unsigned long long>(r.lat_max),
+                        static_cast<unsigned long long>(r.contention_cycles));
+        }
+
+        const sweep::SaturationPoint sat = sweep::find_saturation(results);
+        if (sat.found)
+            std::printf("\nsaturation at offered %.4f: throughput %.4f "
+                        "txn/core/cycle (mean latency %.1f cycles)\n",
+                        sat.offered, sat.throughput, sat.mean_latency);
+        else
+            std::printf("\nno saturation in the swept range; max accepted "
+                        "%.4f txn/core/cycle at offered %.4f\n",
+                        sat.throughput, sat.offered);
+
+        const std::string json = cli::json_path(args);
+        if (!json.empty()) {
+            sweep::SweepMeta meta;
+            meta.app = context.name + " " + mesh_spec;
+            meta.n_cores = n_cores;
+            meta.jobs = jobs;
+            meta.max_cycles = opts.max_cycles;
+            if (!sweep::write_json_report(results, meta, json)) {
+                std::fprintf(stderr, "failed to write %s\n", json.c_str());
+                return 1;
+            }
+            std::printf("wrote %s (%zu rate points)\n", json.c_str(),
+                        results.size());
+        }
+        return setup_error ? 1 : 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -20,29 +20,6 @@
 
 using namespace tgsim;
 
-namespace {
-
-/// Parses one --mesh element: "auto" (dimensions chosen by the platform)
-/// or "WxH", e.g. "3x3".
-std::optional<ic::XpipesConfig> parse_mesh(const std::string& spec,
-                                           u32 fifo_depth) {
-    ic::XpipesConfig mesh{0, 0, fifo_depth};
-    if (spec == "auto") return mesh;
-    const auto x = spec.find('x');
-    if (x == std::string::npos || x == 0 || x + 1 == spec.size())
-        return std::nullopt;
-    char* end = nullptr;
-    mesh.width = static_cast<u32>(std::strtoul(spec.c_str(), &end, 10));
-    if (end != spec.c_str() + x) return std::nullopt;
-    mesh.height =
-        static_cast<u32>(std::strtoul(spec.c_str() + x + 1, &end, 10));
-    if (*end != '\0') return std::nullopt; // reject trailing junk ("3x2x2")
-    if (mesh.width == 0 || mesh.height == 0) return std::nullopt;
-    return mesh;
-}
-
-} // namespace
-
 int main(int argc, char** argv) {
     const cli::Args args{argc, argv};
     const std::string app = args.get("app", "mp_matrix");
@@ -73,7 +50,7 @@ int main(int argc, char** argv) {
         }
         const u32 depth = static_cast<u32>(depth64);
         for (const std::string& m : meshes) {
-            const auto mesh = parse_mesh(m, depth);
+            const auto mesh = cli::parse_mesh(m, depth);
             if (!mesh) {
                 std::fprintf(stderr, "bad --mesh spec '%s' (auto|WxH)\n",
                              m.c_str());
