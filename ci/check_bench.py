@@ -44,21 +44,30 @@ def main() -> int:
             rows = json.load(f)["rows"]
         matched = [r for r in rows if fnmatch.fnmatch(r["name"], row_glob)]
         if not matched:
+            names = ", ".join(r["name"] for r in rows) or "<none>"
             failures.append(f"{bench}: no row matches '{row_glob}'")
-            print(f"FAIL {bench}: no row matches '{row_glob}'")
+            print(f"FAIL {bench}: no row matches '{row_glob}' "
+                  f"(rows present: {names})")
             continue
         for row in matched:
             label = f"{bench}/{row['name']}.{field}"
+            values = {k: v for k, v in row.items() if k != "name"}
             if field not in row:
+                fields = ", ".join(sorted(values)) or "<none>"
                 failures.append(f"{label} absent")
-                print(f"FAIL {label}: field absent")
+                print(f"FAIL {label}: field absent (fields present: {fields})")
                 continue
             value = row[field]
             if value >= minimum:
                 print(f"OK   {label} = {value:.6g} (floor {minimum:.6g})")
             else:
-                failures.append(f"{label} = {value:.6g} below {minimum:.6g}")
-                print(f"FAIL {label} = {value:.6g} below floor {minimum:.6g}")
+                detail = ", ".join(
+                    f"{k}={v:.6g}" if isinstance(v, float) else f"{k}={v}"
+                    for k, v in sorted(values.items()))
+                failures.append(
+                    f"{label} measured {value:.6g} < floor {minimum:.6g}")
+                print(f"FAIL {label}: measured {value:.6g} < floor "
+                      f"{minimum:.6g}\n     row: {detail}")
 
     if failures:
         print(f"\n{len(failures)} bench floor violation(s):", file=sys.stderr)

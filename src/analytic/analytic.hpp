@@ -1,0 +1,132 @@
+// Analytical NoC evaluator — the microsecond screening tier of the
+// two-phase sweep funnel (docs/analytic.md).
+//
+// Where the cycle-level path simulates every flit, this evaluator *computes*
+// a candidate's figures of merit from closed-form queueing theory over the
+// XY-routed mesh geometry (the hop-count + M/D/1 approach of Mandal et al.,
+// PAPERS.md):
+//
+//   * the pattern's spatial destination matrix (tg::pattern_dest_weights —
+//     the exact distribution the stochastic generators draw from) gives a
+//     set of (src, dest, probability) flows;
+//   * every flow is walked along its XY route once, accumulating offered
+//     flit load on each router output port it traverses (requests and
+//     responses on their separate virtual-network planes, exactly like the
+//     cycle model);
+//   * per-hop delay is zero-load traversal plus an M/D/1 waiting term
+//     rho / (2 (1 - rho)) at each port's utilisation;
+//   * the max-loaded port (the bisection-channel bound) and the slave-NI
+//     service stations yield a predicted saturation rate, and the
+//     closed-loop source model (mean gap 1/r plus round-trip service)
+//     yields the accepted-rate plateau the cycle generators exhibit.
+//
+// The result is emitted in the same sweep::SweepResult shape as the
+// cycle-level path (marked SweepResult::analytic), so the sweep funnel,
+// JSON reports and rank-correlation gates treat both tiers uniformly.
+// Accuracy target is *rank* fidelity, not cycle fidelity: the funnel only
+// needs the analytic ordering to agree with cycle-level truth well enough
+// that the true optimum survives the top-K cut (validated by Spearman rho
+// floors in bench/analytic_screen.cpp). Throughput target is >= 100k
+// candidates/sec single-threaded: evaluate() is allocation-free in steady
+// state given a reused Workspace.
+#pragma once
+
+#include <vector>
+
+#include "sweep/sweep.hpp"
+#include "tg/patterns.hpp"
+
+namespace tgsim::analytic {
+
+/// Per-worker scratch, reused across evaluate() calls so steady-state
+/// screening never allocates. Each sweep worker owns one; the evaluator
+/// itself stays immutable and shared.
+///
+/// Everything that depends only on (pattern, mesh geometry) — per-port
+/// offered load, flattened XY path port lists, hop distances, the
+/// saturation bounds — is cached here keyed by (evaluator, width, height):
+/// a screening grid varies rate and FIFO depth far more often than mesh
+/// shape, so most evaluate() calls skip straight to the per-rate fixed
+/// point. Hits and misses produce bit-identical results (the cache stores
+/// exactly what a cold evaluation computes).
+struct Workspace {
+    const void* owner = nullptr; ///< evaluator the cache was built for
+    u32 width = 0;               ///< cached mesh geometry
+    u32 height = 0;
+    std::vector<double> req_load;   ///< per (node, out-port) request-plane flits
+    std::vector<double> resp_load;  ///< per (node, out-port) response-plane flits
+    std::vector<double> slave_load; ///< per node: slave-NI service occupancy
+    std::vector<double> req_wait;   ///< per-port M/D/1 wait, current iterate
+    std::vector<double> resp_wait;
+    /// Probability mass of flows crossing each port / slave node — turns the
+    /// mean path wait into a single per-port dot product, so fixed-point
+    /// iterations are O(ports) instead of O(flows x path length).
+    std::vector<double> req_pweight;
+    std::vector<double> resp_pweight;
+    std::vector<double> slave_pweight;
+    std::vector<u32> req_path;  ///< flattened per-flow request path ports
+    std::vector<u32> resp_path; ///< flattened per-flow response path ports
+    std::vector<u32> req_off;   ///< per-flow offsets into req_path (n+1)
+    std::vector<u32> resp_off;  ///< per-flow offsets into resp_path (n+1)
+    std::vector<double> dist;   ///< per-flow Manhattan distance
+    double mean_dist = 0.0;     ///< probability-weighted mean Manhattan
+    double max_link = 0.0;      ///< hottest port load per unit rate
+    double max_slave = 0.0;     ///< hottest slave-NI occupancy per unit rate
+};
+
+class Evaluator {
+public:
+    /// Validates the pattern (same tg::validate contract as the cycle path)
+    /// and precomputes the normalized flow matrix once; evaluate() reuses it
+    /// for every candidate.
+    explicit Evaluator(const tg::PatternConfig& pattern);
+
+    /// True when the candidate's fabric is inside the model's validity
+    /// envelope (an explicit or auto-sized ×pipes mesh). Unsupported fabrics
+    /// (bus, crossbar) evaluate to a SetupError result; a funnel passes them
+    /// straight to the cycle tier instead of mis-screening them.
+    [[nodiscard]] static bool supports(const sweep::Candidate& cand) noexcept;
+
+    /// Scores one candidate in O(flows x path length). Deterministic: a pure
+    /// function of (pattern, candidate config) — never of evaluation order,
+    /// worker count or machine state — so funnel survivor sets are stable at
+    /// any --jobs. `index` lands in SweepResult::index like the cycle path.
+    [[nodiscard]] sweep::SweepResult evaluate(const sweep::Candidate& cand,
+                                              u32 index, Workspace& ws) const;
+
+    /// Convenience overload with a private workspace (tests, one-off calls).
+    [[nodiscard]] sweep::SweepResult evaluate(const sweep::Candidate& cand,
+                                              u32 index) const;
+
+    [[nodiscard]] u32 n_cores() const noexcept { return n_cores_; }
+
+private:
+    struct Flow {
+        u16 src = 0;
+        u16 dest = 0;
+        double prob = 0.0; ///< fraction of src's transactions (sums to 1/src)
+    };
+
+    /// Cold path of evaluate(): walks every flow's XY route once and fills
+    /// the workspace's geometry cache (per-port loads, path port lists,
+    /// saturation bounds) for the given mesh shape.
+    void build_geometry(u32 width, u32 height, Workspace& ws) const;
+
+    tg::PatternConfig pattern_;
+    u32 n_cores_ = 0;
+    std::vector<Flow> flows_;
+    /// Traffic mix, folded once from the pattern config.
+    double read_fraction_ = 0.5;
+    double mean_beats_ = 1.0;      ///< data beats per transaction
+    double req_flits_mean_ = 2.0;  ///< request-packet flits per transaction
+    double resp_flits_mean_ = 0.0; ///< response-packet flits per transaction
+};
+
+/// Spearman rank correlation between two equally sized samples (average
+/// ranks for ties). Returns 0 for degenerate inputs (size < 2 or a constant
+/// series). Used by the funnel validation gates to quantify how well the
+/// analytic ordering tracks cycle-level truth.
+[[nodiscard]] double spearman_rho(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+} // namespace tgsim::analytic

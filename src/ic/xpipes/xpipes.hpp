@@ -104,6 +104,12 @@ public:
     // asserting a command at one of the master NIs.
 
     [[nodiscard]] const XpipesStats& stats() const noexcept { return stats_; }
+    /// Pre-sizes the latency sample store (no-op unless collect_latency).
+    /// Loaders that know the run's transaction budget call this once so the
+    /// per-packet record() path never reallocates mid-simulation.
+    void reserve_latency(u64 n_samples) {
+        if (cfg_.collect_latency) stats_.packet_latency.reserve(n_samples);
+    }
     [[nodiscard]] u64 busy_cycles() const override { return stats_.busy_cycles; }
     [[nodiscard]] u64 contention_cycles() const override;
     [[nodiscard]] u32 node_count() const noexcept { return cfg_.width * cfg_.height; }

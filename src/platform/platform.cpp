@@ -162,6 +162,17 @@ void Platform::load_stochastic(const std::vector<tg::StochasticConfig>& configs,
         kernel_.add(*stochs_.back(), sim::kStageMaster,
                     "stg" + std::to_string(i));
     }
+    // The transaction budget bounds the latency samples (every transaction
+    // delivers at most a request and a response packet), so the mesh can
+    // pre-size its sample store and never reallocate mid-simulation.
+    if (cfg_.ic == IcKind::Xpipes && cfg_.xpipes.collect_latency) {
+        if (auto* mesh = dynamic_cast<ic::XpipesNetwork*>(ic_.get())) {
+            u64 budget = 0;
+            for (const tg::StochasticConfig& c : configs)
+                budget += c.total_transactions * 2;
+            mesh->reserve_latency(budget);
+        }
+    }
     if (cfg_.collect_traces) attach_monitors();
 }
 

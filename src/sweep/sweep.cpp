@@ -1,5 +1,6 @@
 #include "sweep/sweep.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdarg>
 #include <cstdio>
@@ -8,7 +9,25 @@
 #include <thread>
 #include <utility>
 
+#include "analytic/analytic.hpp"
+
 namespace tgsim::sweep {
+
+std::string_view to_string(Tier t) noexcept {
+    switch (t) {
+        case Tier::Cycle: return "cycle";
+        case Tier::Analytic: return "analytic";
+        case Tier::Funnel: return "funnel";
+    }
+    return "?";
+}
+
+std::optional<Tier> parse_tier(const std::string& name) {
+    if (name == "cycle") return Tier::Cycle;
+    if (name == "analytic") return Tier::Analytic;
+    if (name == "funnel") return Tier::Funnel;
+    return std::nullopt;
+}
 
 u32 resolve_jobs(u32 jobs, std::size_t n_candidates) {
     if (jobs == 0) jobs = std::thread::hardware_concurrency();
@@ -34,7 +53,8 @@ bool bit_identical(const SweepResult& a, const SweepResult& b) {
            a.accepted_rate == b.accepted_rate && a.packets == b.packets &&
            a.lat_count == b.lat_count && a.lat_mean == b.lat_mean &&
            a.lat_p50 == b.lat_p50 && a.lat_p99 == b.lat_p99 &&
-           a.lat_max == b.lat_max;
+           a.lat_max == b.lat_max && a.analytic == b.analytic &&
+           a.predicted_saturation == b.predicted_saturation;
 }
 
 u64 derive_seed(u64 base, u32 candidate_index, u32 core) {
@@ -269,6 +289,9 @@ std::string json_report(const std::vector<SweepResult>& results,
                    static_cast<unsigned long long>(r.lat_p99),
                    static_cast<unsigned long long>(r.lat_max));
         }
+        if (r.analytic)
+            append(out, ", \"analytic\": true, \"predicted_saturation\": %.6f",
+                   r.predicted_saturation);
         out += "}";
     }
     out += "\n  ]\n}\n";
@@ -439,22 +462,32 @@ SweepResult SweepDriver::evaluate(const Candidate& cand, u32 index,
     return r;
 }
 
-std::vector<SweepResult> SweepDriver::run(
-    const std::vector<Candidate>& candidates, const SweepOptions& opts) const {
-    std::vector<SweepResult> results(candidates.size());
+std::vector<SweepResult> SweepDriver::run_cycle(
+    const std::vector<Candidate>& candidates, const SweepOptions& opts,
+    const std::vector<u32>* subset, std::vector<SweepResult> seed) const {
+    std::vector<SweepResult> results = std::move(seed);
+    results.resize(candidates.size());
     if (candidates.empty()) return results;
 
-    const u32 jobs = resolve_jobs(opts.jobs, candidates.size());
+    const std::size_t n_work =
+        subset != nullptr ? subset->size() : candidates.size();
+    if (n_work == 0) return results;
+    const u32 jobs = resolve_jobs(opts.jobs, n_work);
 
     // Dynamic work-stealing over an atomic cursor: candidates vary wildly
     // in cost (a livelocked fabric runs to the full cycle budget), so a
     // static partition would leave workers idle. Each result lands in its
     // candidate's slot — aggregation order never depends on scheduling.
+    // With a funnel subset, the cursor walks the survivor list but every
+    // candidate keeps its ORIGINAL index (derive_seed input), so survivor
+    // results are bit-identical to an all-cycle run of the same grid.
     std::atomic<u32> next{0};
     const auto work = [&] {
-        for (u32 i; (i = next.fetch_add(1, std::memory_order_relaxed)) <
-                    candidates.size();)
+        for (u32 w;
+             (w = next.fetch_add(1, std::memory_order_relaxed)) < n_work;) {
+            const u32 i = subset != nullptr ? (*subset)[w] : w;
             results[i] = evaluate(candidates[i], i, opts);
+        }
     };
 
     if (jobs == 1) {
@@ -466,6 +499,79 @@ std::vector<SweepResult> SweepDriver::run(
     for (u32 t = 0; t < jobs; ++t) pool.emplace_back(work);
     for (std::thread& t : pool) t.join();
     return results;
+}
+
+std::vector<SweepResult> SweepDriver::run_analytic(
+    const std::vector<Candidate>& candidates, const SweepOptions& opts) const {
+    std::vector<SweepResult> results(candidates.size());
+    if (candidates.empty()) return results;
+
+    // One immutable evaluator shared by all workers; each worker owns a
+    // Workspace so steady-state screening never allocates or contends.
+    const analytic::Evaluator eval{*pattern_};
+    const u32 jobs = resolve_jobs(opts.jobs, candidates.size());
+    std::atomic<u32> next{0};
+    const auto work = [&] {
+        analytic::Workspace ws;
+        for (u32 i; (i = next.fetch_add(1, std::memory_order_relaxed)) <
+                    candidates.size();)
+            results[i] = eval.evaluate(candidates[i], i, ws);
+    };
+    if (jobs == 1) {
+        work();
+        return results;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (u32 t = 0; t < jobs; ++t) pool.emplace_back(work);
+    for (std::thread& t : pool) t.join();
+    return results;
+}
+
+std::vector<SweepResult> SweepDriver::run(
+    const std::vector<Candidate>& candidates, const SweepOptions& opts) const {
+    if (opts.tier == Tier::Cycle)
+        return run_cycle(candidates, opts, nullptr, {});
+
+    if (!pattern_)
+        throw std::invalid_argument{
+            "SweepDriver: analytic/funnel tiers need a pattern payload"};
+
+    if (opts.tier == Tier::Analytic)
+        return run_analytic(candidates, opts);
+
+    // Funnel: analytic phase over the full grid, cycle phase over the
+    // top-K predicted candidates (docs/analytic.md). Survivor selection is
+    // a pure function of the deterministic analytic scores, so the funnel
+    // inherits the sweep's any-worker-count bit-identity.
+    if (opts.funnel_top == 0)
+        throw std::invalid_argument{"SweepDriver: funnel_top must be nonzero"};
+
+    std::vector<SweepResult> scored = run_analytic(candidates, opts);
+
+    std::vector<u32> survivors;
+    std::vector<u32> ranked;
+    for (u32 i = 0; i < candidates.size(); ++i) {
+        if (!analytic::Evaluator::supports(candidates[i])) {
+            // Outside the model's envelope (bus/crossbar fabrics): never
+            // screen on a score the model cannot produce — cycle-simulate.
+            survivors.push_back(i);
+        } else if (scored[i].ok()) {
+            ranked.push_back(i);
+        }
+        // Analytic SetupError rows (impossible mesh, bad fifo) are kept
+        // as-is: the cycle tier would reject them identically.
+    }
+    std::sort(ranked.begin(), ranked.end(), [&](u32 a, u32 b) {
+        if (scored[a].cycles != scored[b].cycles)
+            return scored[a].cycles < scored[b].cycles;
+        return a < b; // deterministic tie-break: submission order
+    });
+    if (ranked.size() > opts.funnel_top) ranked.resize(opts.funnel_top);
+    survivors.insert(survivors.end(), ranked.begin(), ranked.end());
+    std::sort(survivors.begin(), survivors.end());
+
+    return run_cycle(candidates, opts, &survivors, std::move(scored));
 }
 
 } // namespace tgsim::sweep

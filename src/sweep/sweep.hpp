@@ -17,10 +17,10 @@
 // any worker count — see bit_identical().
 #pragma once
 
-#include <string>
-#include <vector>
-
 #include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "apps/workload.hpp"
 #include "platform/platform.hpp"
@@ -44,6 +44,21 @@ struct Candidate {
     double injection_rate = 0.0;
 };
 
+/// Which evaluator run() applies to the candidate grid (docs/analytic.md).
+/// Cycle is the flit-accurate simulator; Analytic is the closed-form
+/// screening model (microseconds per candidate, pattern payloads only);
+/// Funnel is the two-phase composition: analytically score the full grid,
+/// then cycle-simulate only the top-K survivors.
+enum class Tier : u8 {
+    Cycle,
+    Analytic,
+    Funnel,
+};
+
+[[nodiscard]] std::string_view to_string(Tier t) noexcept;
+/// Accepts "cycle", "analytic", "funnel"; nullopt for anything else.
+[[nodiscard]] std::optional<Tier> parse_tier(const std::string& name);
+
 struct SweepOptions {
     /// Worker threads; 0 = std::thread::hardware_concurrency(). Clamped to
     /// the candidate count. jobs == 1 runs inline on the calling thread.
@@ -58,6 +73,16 @@ struct SweepOptions {
     bool run_checks = true;
     /// Base for per-candidate stochastic reseeding (see derive_seed()).
     u64 seed = 0x5EEDBA5Eu;
+    /// Evaluator tier. Analytic and Funnel require a pattern payload
+    /// (run() throws std::invalid_argument otherwise — the analytical
+    /// model is defined over a pattern's destination matrix, not over
+    /// arbitrary TG traces).
+    Tier tier = Tier::Cycle;
+    /// Funnel survivor budget: how many analytically top-ranked candidates
+    /// the cycle tier re-evaluates (plus any candidate outside the
+    /// analytic model's envelope, which always passes through to the cycle
+    /// tier rather than being mis-screened). Must be nonzero for Funnel.
+    u32 funnel_top = 16;
 };
 
 /// How a candidate failed. The three kinds mean very different things to a
@@ -119,6 +144,14 @@ struct SweepResult {
     // NI reject accounting (command asserted, master NI busy) is the
     // existing contention_cycles field — the mesh reports exactly its
     // master_wait_cycles sum there.
+
+    /// True when this row came from the analytic screening tier rather
+    /// than the cycle simulator: cycles/latency fields are *predictions*
+    /// (closed-form, deterministic — included in bit_identical()), per_core
+    /// is empty, and predicted_saturation carries the max-loaded-link
+    /// saturation bound in transactions per core per cycle.
+    bool analytic = false;
+    double predicted_saturation = 0.0;
 
     [[nodiscard]] bool ok() const noexcept { return error.empty(); }
 };
@@ -229,6 +262,15 @@ public:
     /// Evaluates every candidate, `opts.jobs` at a time, one Platform
     /// constructed/run/destroyed per worker iteration. Returns one result
     /// per candidate, in candidate order, regardless of completion order.
+    ///
+    /// opts.tier selects the evaluator: Cycle simulates everything,
+    /// Analytic scores everything with the closed-form model, Funnel
+    /// analytically scores the full grid and then cycle-simulates only the
+    /// opts.funnel_top best-predicted candidates (by predicted completion
+    /// time, ties broken by candidate index) plus every candidate outside
+    /// the analytic envelope. Funnel survivors keep their ORIGINAL
+    /// candidate index for seeding, so their results are bit-identical to
+    /// an all-cycle run of the same grid — at any worker count.
     [[nodiscard]] std::vector<SweepResult> run(
         const std::vector<Candidate>& candidates,
         const SweepOptions& opts = {}) const;
@@ -238,6 +280,12 @@ public:
 private:
     [[nodiscard]] SweepResult evaluate(const Candidate& cand, u32 index,
                                        const SweepOptions& opts) const;
+    [[nodiscard]] std::vector<SweepResult> run_cycle(
+        const std::vector<Candidate>& candidates, const SweepOptions& opts,
+        const std::vector<u32>* subset, std::vector<SweepResult> seed) const;
+    [[nodiscard]] std::vector<SweepResult> run_analytic(
+        const std::vector<Candidate>& candidates,
+        const SweepOptions& opts) const;
 
     u32 n_cores_ = 0;
     std::vector<tg::AssembledTg> binaries_;       ///< TG payload (if any)

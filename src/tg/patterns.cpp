@@ -114,16 +114,16 @@ void validate(const PatternConfig& cfg) {
         throw std::invalid_argument{"pattern: target_span below one word"};
 }
 
-std::vector<StochasticTarget> pattern_targets(const PatternConfig& cfg,
-                                              u32 src) {
+std::vector<DestWeight> pattern_dest_weights(const PatternConfig& cfg,
+                                             u32 src) {
     const u32 n = cfg.width * cfg.height;
-    std::vector<StochasticTarget> out;
+    std::vector<DestWeight> out;
     switch (cfg.pattern) {
         case Pattern::UniformRandom:
             for (u32 d = 0; d < n; ++d)
-                if (d != src) out.push_back(core_target(d, cfg.target_span, 1));
+                if (d != src) out.push_back({d, 1});
             if (out.empty()) // single-core grid: nowhere else to go
-                out.push_back(core_target(src, cfg.target_span, 1));
+                out.push_back({src, 1});
             break;
         case Pattern::Hotspot: {
             // hotspot weight H over `others` unit weights so that
@@ -134,27 +134,31 @@ std::vector<StochasticTarget> pattern_targets(const PatternConfig& cfg,
             if (src == cfg.hotspot_core || others == 0) {
                 // The hotspot itself (or a tiny grid) sends uniform traffic.
                 for (u32 d = 0; d < n; ++d)
-                    if (d != src)
-                        out.push_back(core_target(d, cfg.target_span, 1));
-                if (out.empty())
-                    out.push_back(core_target(src, cfg.target_span, 1));
+                    if (d != src) out.push_back({d, 1});
+                if (out.empty()) out.push_back({src, 1});
                 break;
             }
             const double f = cfg.hotspot_fraction;
             const u32 hot = std::max<u32>(
                 1, static_cast<u32>(std::lround(f / (1.0 - f) * others)));
-            out.push_back(core_target(cfg.hotspot_core, cfg.target_span, hot));
+            out.push_back({cfg.hotspot_core, hot});
             for (u32 d = 0; d < n; ++d)
-                if (d != src && d != cfg.hotspot_core)
-                    out.push_back(core_target(d, cfg.target_span, 1));
+                if (d != src && d != cfg.hotspot_core) out.push_back({d, 1});
             break;
         }
         default:
-            out.push_back(core_target(
-                pattern_dest(cfg.pattern, src, cfg.width, cfg.height),
-                cfg.target_span, 1));
+            out.push_back(
+                {pattern_dest(cfg.pattern, src, cfg.width, cfg.height), 1});
             break;
     }
+    return out;
+}
+
+std::vector<StochasticTarget> pattern_targets(const PatternConfig& cfg,
+                                              u32 src) {
+    std::vector<StochasticTarget> out;
+    for (const DestWeight& dw : pattern_dest_weights(cfg, src))
+        out.push_back(core_target(dw.dest, cfg.target_span, dw.weight));
     return out;
 }
 

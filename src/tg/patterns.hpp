@@ -89,10 +89,25 @@ struct PatternConfig {
 /// (0, 1], or a zero packet budget.
 void validate(const PatternConfig& cfg);
 
-/// Weighted destination set for core `src` (validate()d config): a single
-/// target for deterministic patterns, the weighted fan-out for
+/// One (destination core, weight) entry of a source's fan-out.
+struct DestWeight {
+    u32 dest = 0;
+    u32 weight = 1;
+};
+
+/// Weighted destination-core set for core `src` (validate()d config): a
+/// single entry for deterministic patterns, the weighted fan-out for
 /// UniformRandom/Hotspot. Self-traffic only occurs where the pattern
-/// demands it (e.g. the transpose diagonal).
+/// demands it (e.g. the transpose diagonal). This is the pattern's spatial
+/// destination matrix — pattern_targets() maps it to addresses for the
+/// stochastic generators, and analytic::Evaluator consumes it directly, so
+/// the two tiers cannot drift apart.
+[[nodiscard]] std::vector<DestWeight> pattern_dest_weights(
+    const PatternConfig& cfg, u32 src);
+
+/// Weighted destination set for core `src` (validate()d config), as
+/// address-range targets over each destination core's private scratch
+/// window (pattern_dest_weights mapped through core_target).
 [[nodiscard]] std::vector<StochasticTarget> pattern_targets(
     const PatternConfig& cfg, u32 src);
 

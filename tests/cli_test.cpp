@@ -90,5 +90,27 @@ TEST(CliPollsDeath, GarbageNumericFieldExits) {
                 testing::ExitedWithCode(1), "--poll idle: invalid number");
 }
 
+TEST(CliTier, ParsesAllTiersAndDefault) {
+    EXPECT_EQ(cli::get_tier(make_args({})), sweep::Tier::Cycle);
+    EXPECT_EQ(cli::get_tier(make_args({"--tier=cycle"})), sweep::Tier::Cycle);
+    EXPECT_EQ(cli::get_tier(make_args({"--tier=analytic"})),
+              sweep::Tier::Analytic);
+    EXPECT_EQ(cli::get_tier(make_args({"--tier=funnel"})),
+              sweep::Tier::Funnel);
+    EXPECT_EQ(cli::get_funnel_top(make_args({})), 16u);
+    EXPECT_EQ(cli::get_funnel_top(make_args({"--funnel-top=3"})), 3u);
+}
+
+TEST(CliTierDeath, BadValuesAreFatalNotDefaulted) {
+    EXPECT_EXIT((void)cli::get_tier(make_args({"--tier=fast"})),
+                testing::ExitedWithCode(1), "--tier: unknown tier 'fast'");
+    EXPECT_EXIT((void)cli::get_tier(make_args({"--tier="})),
+                testing::ExitedWithCode(1), "--tier: unknown tier");
+    EXPECT_EXIT((void)cli::get_funnel_top(make_args({"--funnel-top=0"})),
+                testing::ExitedWithCode(1), "--funnel-top: must be nonzero");
+    EXPECT_EXIT((void)cli::get_funnel_top(make_args({"--funnel-top=many"})),
+                testing::ExitedWithCode(1), "--funnel-top: invalid number");
+}
+
 } // namespace
 } // namespace tgsim

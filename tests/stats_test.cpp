@@ -95,5 +95,43 @@ TEST(LatencyStats, Throughput) {
     EXPECT_DOUBLE_EQ(s.throughput(0), 0.0);
 }
 
+TEST(LatencyStats, SummarySinglePassMatchesPercentileOnAdversarialOrders) {
+    // summary() selects p50 inside the partition the p99 nth_element left
+    // behind; it must agree with the two independent percentile() calls for
+    // any insertion order, including ones that stress the partition bound
+    // (descending, organ-pipe, heavy ties around both ranks).
+    const std::vector<std::vector<u64>> fixtures = {
+        {5, 4, 3, 2, 1},
+        {1, 100, 2, 99, 3, 98, 4, 97, 5, 96},
+        {7, 7, 7, 7, 7, 7, 7, 7},
+        {2, 1},
+        {3},
+    };
+    for (const auto& fx : fixtures) {
+        LatencyStats s;
+        for (const u64 v : fx) s.record(v);
+        const auto sum = s.summary();
+        EXPECT_EQ(sum.p50, s.percentile(50.0)) << fx.size();
+        EXPECT_EQ(sum.p99, s.percentile(99.0)) << fx.size();
+    }
+    // Large enough that p50 and p99 ranks are well separated.
+    LatencyStats big;
+    for (u64 i = 0; i < 1000; ++i) big.record((i * 7919) % 1000);
+    const auto sum = big.summary();
+    EXPECT_EQ(sum.p50, big.percentile(50.0));
+    EXPECT_EQ(sum.p99, big.percentile(99.0));
+}
+
+TEST(LatencyStats, ReserveDoesNotDisturbSamples) {
+    LatencyStats s;
+    s.reserve(100);
+    EXPECT_EQ(s.count(), 0u);
+    s.record(4);
+    s.record(2);
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_EQ(s.min(), 2u);
+    EXPECT_EQ(s.max(), 4u);
+}
+
 } // namespace
 } // namespace tgsim::stats

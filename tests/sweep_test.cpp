@@ -219,6 +219,83 @@ TEST(Grid, MakeGridCoversRequestedAxes) {
     EXPECT_EQ(grid[4].name, "xpipes auto fifo8");
 }
 
+namespace {
+
+/// A latency-instrumented rate point, as a rate sweep would produce it.
+SweepResult rate_point(double offered, double accepted, double lat_mean) {
+    SweepResult r;
+    r.completed = true;
+    r.checks_ok = true;
+    r.has_latency = true;
+    r.offered_rate = offered;
+    r.accepted_rate = accepted;
+    r.lat_count = 100;
+    r.lat_mean = lat_mean;
+    return r;
+}
+
+} // namespace
+
+TEST(Saturation, EmptySweepReportsNothing) {
+    const SaturationPoint sat = find_saturation({});
+    EXPECT_FALSE(sat.found);
+    EXPECT_EQ(sat.index, 0u);
+    EXPECT_EQ(sat.offered, 0.0);
+    EXPECT_EQ(sat.throughput, 0.0);
+}
+
+TEST(Saturation, SweepWithoutLatencyRowsReportsNothing) {
+    // Failed / non-instrumented rows must be skipped, not treated as
+    // zero-latency points (which would poison the zero-load baseline).
+    SweepResult failed;
+    failed.error = "setup";
+    SweepResult no_lat;
+    no_lat.completed = true;
+    const SaturationPoint sat = find_saturation({failed, no_lat});
+    EXPECT_FALSE(sat.found);
+    EXPECT_EQ(sat.throughput, 0.0);
+}
+
+TEST(Saturation, SinglePointNeverSaturates) {
+    // One point has no curve to leave: it IS the zero-load baseline, so the
+    // result must describe it as the best observed, not a saturation knee.
+    const SaturationPoint sat =
+        find_saturation({rate_point(0.01, 0.0099, 12.0)});
+    EXPECT_FALSE(sat.found);
+    EXPECT_EQ(sat.index, 0u);
+    EXPECT_DOUBLE_EQ(sat.offered, 0.01);
+    EXPECT_DOUBLE_EQ(sat.throughput, 0.0099);
+}
+
+TEST(Saturation, NonMonotoneAcceptedRateIsHandled) {
+    // Accepted throughput that dips then recovers (noisy measurements are
+    // legal input) must not crash or report a bogus early knee; the
+    // reported throughput is the best accepted rate seen.
+    const std::vector<SweepResult> rows = {
+        rate_point(0.01, 0.0099, 10.0),
+        rate_point(0.012, 0.0090, 10.5), // dip, but not a >=25% load step
+        rate_point(0.02, 0.0198, 11.0),
+        rate_point(0.04, 0.0390, 12.0),
+    };
+    const SaturationPoint sat = find_saturation(rows);
+    EXPECT_FALSE(sat.found);
+    EXPECT_DOUBLE_EQ(sat.throughput, 0.0390);
+    EXPECT_EQ(sat.index, 3u);
+}
+
+TEST(Saturation, PlateauOnNonMonotoneInputFindsKnee) {
+    const std::vector<SweepResult> rows = {
+        rate_point(0.01, 0.0099, 10.0),
+        rate_point(0.02, 0.0198, 11.0),
+        rate_point(0.08, 0.0200, 12.0), // 4x the load, no more throughput
+    };
+    const SaturationPoint sat = find_saturation(rows);
+    EXPECT_TRUE(sat.found);
+    EXPECT_EQ(sat.index, 2u);
+    EXPECT_DOUBLE_EQ(sat.offered, 0.08);
+    EXPECT_DOUBLE_EQ(sat.throughput, 0.0200);
+}
+
 TEST(JsonReport, GoldenFormat) {
     SweepResult ok;
     ok.name = "amba rr";

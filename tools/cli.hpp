@@ -15,6 +15,7 @@
 
 #include "apps/apps.hpp"
 #include "platform/platform.hpp"
+#include "sweep/sweep.hpp"
 #include "tg/translator.hpp"
 
 namespace tgsim::cli {
@@ -171,6 +172,32 @@ inline std::optional<double> parse_rate(const std::string& s) {
     if (end != s.c_str() + s.size() || errno == ERANGE) return std::nullopt;
     if (!(v >= 0.0) || v > 1.0e9) return std::nullopt;
     return v;
+}
+
+/// Shared funnel flags (docs/analytic.md), parsed in one place so
+/// tgsim_sweep and future screening tools cannot grow drifting copies:
+///   --tier=cycle|analytic|funnel   evaluator tier (default cycle)
+///   --funnel-top=K                 cycle-tier survivor budget (default 16)
+/// Bad values are fatal usage errors, never silent defaults.
+inline sweep::Tier get_tier(const Args& args) {
+    const std::string name = args.get("tier", "cycle");
+    const auto tier = sweep::parse_tier(name);
+    if (!tier) {
+        std::fprintf(stderr,
+                     "--tier: unknown tier '%s' (cycle, analytic, funnel)\n",
+                     name.c_str());
+        std::exit(1);
+    }
+    return *tier;
+}
+
+inline u32 get_funnel_top(const Args& args) {
+    const u32 top = args.get_u32("funnel-top", 16);
+    if (top == 0) {
+        std::fprintf(stderr, "--funnel-top: must be nonzero\n");
+        std::exit(1);
+    }
+    return top;
 }
 
 inline std::optional<platform::IcKind> parse_ic(const std::string& name) {

@@ -13,15 +13,204 @@
 // time. Per-candidate results are deterministic and independent of --jobs
 // (see docs/sweep.md). --json writes the machine-readable report;
 // --cpu-truth adds a (much slower) cycle-true ground-truth column.
+//
+// Pattern mode (docs/analytic.md) swaps the traced workload for a synthetic
+// traffic pattern and unlocks the evaluator tiers:
+//
+//   tgsim-sweep --pattern=transpose [--grid=4x4] [--rates=0.01,0.02,...]
+//               [--mesh=...] [--fifo=...] [--packets=N]
+//               [--tier=cycle|analytic|funnel] [--funnel-top=K]
+//
+// The candidate grid is every --mesh × --fifo × --rates point (×pipes
+// fabrics with latency collection). --tier=analytic scores the whole grid
+// with the closed-form model in microseconds per candidate; --tier=funnel
+// screens analytically and cycle-simulates only the --funnel-top best
+// predictions (plus any fabric outside the model), which is the route to
+// very large grids. Funnel survivor rows are bit-identical to an all-cycle
+// run at any --jobs. Analytic/funnel tiers require --pattern.
 #include <cstdio>
 
 #include "cli.hpp"
 #include "sweep/sweep.hpp"
+#include "tg/patterns.hpp"
 
 using namespace tgsim;
 
+namespace {
+
+/// Pattern-payload mode: candidates over mesh × fifo × rate, evaluated by
+/// the tier selected on the command line.
+int run_pattern_mode(const cli::Args& args) {
+    const std::string pattern_name = args.get("pattern", "uniform_random");
+    const auto pattern = tg::parse_pattern(pattern_name);
+    if (!pattern) {
+        std::fprintf(stderr,
+                     "unknown --pattern '%s' (uniform_random|bit_complement|"
+                     "transpose|shuffle|tornado|neighbor|hotspot)\n",
+                     pattern_name.c_str());
+        return 1;
+    }
+    const std::string grid_spec = args.get("grid", "4x4");
+    const auto grid = cli::parse_mesh(grid_spec, 4);
+    if (!grid || grid->width == 0) { // the core grid needs explicit dims
+        std::fprintf(stderr, "bad --grid spec '%s' (WxH, e.g. 4x4)\n",
+                     grid_spec.c_str());
+        return 1;
+    }
+
+    tg::PatternConfig pc;
+    pc.pattern = *pattern;
+    pc.width = grid->width;
+    pc.height = grid->height;
+    pc.packets_per_core = args.get_u64("packets", 2000);
+    const u32 n_cores = pc.width * pc.height;
+
+    // Offered-rate axis of the candidate grid, strictly ascending so rows
+    // group into per-fabric load–latency curves.
+    std::vector<double> rates;
+    for (const std::string& tok :
+         cli::split_list(args.get("rates", "0.01,0.02,0.04,0.08"))) {
+        const auto r = cli::parse_rate(tok);
+        if (!r || *r <= 0.0 || *r > 1.0) {
+            std::fprintf(stderr, "bad --rates entry '%s' (need (0,1])\n",
+                         tok.c_str());
+            return 1;
+        }
+        if (!rates.empty() && *r <= rates.back()) {
+            std::fprintf(stderr, "--rates must be strictly ascending\n");
+            return 1;
+        }
+        rates.push_back(*r);
+    }
+    if (rates.empty()) {
+        std::fprintf(stderr, "--rates is empty\n");
+        return 1;
+    }
+    pc.injection_rate = rates.front();
+
+    // Fabric axes: every mesh shape × FIFO depth, latency-instrumented.
+    std::vector<sweep::Candidate> candidates;
+    for (const std::string& f : cli::split_list(args.get("fifo", "4"))) {
+        const u64 depth64 = cli::parse_u64(f).value_or(0);
+        if (depth64 == 0 || depth64 > 0xFFFFFFFFull) {
+            std::fprintf(stderr, "bad --fifo depth '%s'\n", f.c_str());
+            return 1;
+        }
+        for (const std::string& m :
+             cli::split_list(args.get("mesh", "auto"))) {
+            const auto mesh =
+                cli::parse_mesh(m, static_cast<u32>(depth64));
+            if (!mesh) {
+                std::fprintf(stderr, "bad --mesh spec '%s' (auto|WxH)\n",
+                             m.c_str());
+                return 1;
+            }
+            for (const double rate : rates) {
+                sweep::Candidate c;
+                c.cfg.ic = platform::IcKind::Xpipes;
+                c.cfg.xpipes = *mesh;
+                c.cfg.xpipes.collect_latency = true;
+                c.injection_rate = rate;
+                char buf[64];
+                std::snprintf(buf, sizeof buf, "%s r=%.4f",
+                              sweep::describe_fabric(c.cfg).c_str(), rate);
+                c.name = buf;
+                candidates.push_back(std::move(c));
+            }
+        }
+    }
+
+    sweep::SweepOptions opts;
+    opts.jobs = cli::get_jobs(args);
+    opts.max_cycles = args.get_u64("max-cycles", 100'000'000);
+    opts.tier = cli::get_tier(args);
+    opts.funnel_top = cli::get_funnel_top(args);
+
+    apps::Workload context; // patterns compute nothing: empty images/checks
+    context.name = "pattern_" + std::string{tg::to_string(pc.pattern)};
+
+    try {
+        const sweep::SweepDriver driver{pc, context};
+        const u32 jobs = sweep::resolve_jobs(opts.jobs, candidates.size());
+        std::printf("%s on a %ux%u core grid, %zu candidates, tier %s, "
+                    "%u workers\n\n",
+                    pattern_name.c_str(), pc.width, pc.height,
+                    candidates.size(),
+                    std::string{sweep::to_string(opts.tier)}.c_str(), jobs);
+        sim::WallTimer timer;
+        const std::vector<sweep::SweepResult> results =
+            driver.run(candidates, opts);
+        const double sweep_wall = timer.seconds();
+
+        std::printf("%-26s %5s %12s %10s %9s\n", "candidate", "tier",
+                    "cycles", "accepted", "mean lat");
+        const sweep::SweepResult* best = nullptr;
+        bool setup_error = false;
+        for (const sweep::SweepResult& r : results) {
+            if (!r.ok()) {
+                std::printf("%-26s REJECTED: %s\n", r.name.c_str(),
+                            r.error.c_str());
+                if (r.failure == sweep::FailureKind::SetupError)
+                    setup_error = true;
+                continue;
+            }
+            std::printf("%-26s %5s %12llu %10.4f %9.1f\n", r.name.c_str(),
+                        r.analytic ? "pred" : "cycle",
+                        static_cast<unsigned long long>(r.cycles),
+                        r.accepted_rate, r.lat_mean);
+            // The headline answer: the fastest-completing candidate, only
+            // ever picked from cycle-measured rows in funnel mode (the
+            // survivors), so funnel top-1 == all-cycle top-1.
+            const bool eligible =
+                opts.tier == sweep::Tier::Analytic || !r.analytic;
+            if (eligible && (best == nullptr || r.cycles < best->cycles ||
+                             (r.cycles == best->cycles &&
+                              r.index < best->index)))
+                best = &r;
+        }
+        std::printf("\n%zu candidates in %.3f s wall\n", results.size(),
+                    sweep_wall);
+        if (best != nullptr)
+            std::printf("best: %s (%llu cycles)\n", best->name.c_str(),
+                        static_cast<unsigned long long>(best->cycles));
+
+        const std::string json = cli::json_path(args);
+        if (!json.empty()) {
+            sweep::SweepMeta meta;
+            meta.app = context.name + " " + grid_spec;
+            meta.n_cores = n_cores;
+            meta.jobs = jobs;
+            meta.max_cycles = opts.max_cycles;
+            if (!sweep::write_json_report(results, meta, json)) {
+                std::fprintf(stderr, "failed to write %s\n", json.c_str());
+                return 1;
+            }
+            std::printf("wrote %s (%zu candidates)\n", json.c_str(),
+                        results.size());
+        }
+        return setup_error ? 1 : 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
+
+} // namespace
+
 int main(int argc, char** argv) {
     const cli::Args args{argc, argv};
+    // Tier flags validate eagerly in both modes (fail-fast contract).
+    const sweep::Tier tier = cli::get_tier(args);
+    (void)cli::get_funnel_top(args);
+    if (args.has("pattern")) return run_pattern_mode(args);
+    if (tier != sweep::Tier::Cycle) {
+        std::fprintf(stderr,
+                     "--tier=%s needs a pattern payload; add --pattern=NAME "
+                     "(the analytic model is defined over a pattern's "
+                     "destination matrix, not over TG traces)\n",
+                     std::string{sweep::to_string(tier)}.c_str());
+        return 1;
+    }
     const std::string app = args.get("app", "mp_matrix");
     const u32 cores = args.get_u32("cores", 6);
     const u32 size =
