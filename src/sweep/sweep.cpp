@@ -2,14 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdarg>
 #include <cstdio>
 #include <exception>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "analytic/analytic.hpp"
+#include "sim/kernel.hpp"
+#include "sweep/shard.hpp"
 
 namespace tgsim::sweep {
 
@@ -26,6 +31,24 @@ std::optional<Tier> parse_tier(const std::string& name) {
     if (name == "cycle") return Tier::Cycle;
     if (name == "analytic") return Tier::Analytic;
     if (name == "funnel") return Tier::Funnel;
+    return std::nullopt;
+}
+
+std::string_view to_string(FailureKind k) noexcept {
+    switch (k) {
+        case FailureKind::None: return "none";
+        case FailureKind::SetupError: return "setup_error";
+        case FailureKind::Timeout: return "timeout";
+        case FailureKind::ChecksFailed: return "checks_failed";
+    }
+    return "?";
+}
+
+std::optional<FailureKind> parse_failure(const std::string& s) {
+    if (s == "none") return FailureKind::None;
+    if (s == "setup_error") return FailureKind::SetupError;
+    if (s == "timeout") return FailureKind::Timeout;
+    if (s == "checks_failed") return FailureKind::ChecksFailed;
     return std::nullopt;
 }
 
@@ -237,65 +260,111 @@ void append(std::string& out, const char* fmt, ...) {
     out += buf;
 }
 
+/// Emits the report piecewise through `flush(buffer)` — once for the
+/// header, once per row, once for the footer — so FILE-backed sinks never
+/// hold more than one row in memory. Stops (returning false) on the first
+/// flush failure.
+template <typename Flush>
+bool emit_report(const std::vector<SweepResult>& results,
+                 const SweepMeta& meta, Flush&& flush) {
+    std::string buf;
+    buf += "{\n  \"sweep\": ";
+    append_sweep_meta(buf, meta);
+    buf += ",\n  \"candidates\": [";
+    if (!flush(buf)) return false;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        buf.clear();
+        buf += i ? ",\n    " : "\n    ";
+        append_result_row(buf, results[i]);
+        if (!flush(buf)) return false;
+    }
+    buf = "\n  ]\n}\n";
+    return flush(buf);
+}
+
 } // namespace
+
+void append_sweep_meta(std::string& out, const SweepMeta& meta) {
+    out += "{\"app\": ";
+    append_string(out, meta.app);
+    append(out, ", \"cores\": %u, \"jobs\": %u", meta.n_cores, meta.jobs);
+    append(out, ", \"max_cycles\": %llu",
+           static_cast<unsigned long long>(meta.max_cycles));
+    append(out, ", \"tier\": \"%s\"",
+           std::string{to_string(meta.tier)}.c_str());
+    append(out, ", \"seed\": %llu, \"n_candidates\": %u",
+           static_cast<unsigned long long>(meta.seed), meta.n_candidates);
+    if (meta.tier == Tier::Funnel)
+        append(out, ", \"funnel_top\": %u", meta.funnel_top);
+    if (meta.shard.count > 1)
+        append(out, ", \"shard\": {\"index\": %u, \"count\": %u}",
+               meta.shard.index, meta.shard.count);
+    out += "}";
+}
+
+void append_result_row(std::string& out, const SweepResult& r) {
+    out += "{\"name\": ";
+    append_string(out, r.name);
+    out += ", \"fabric\": ";
+    append_string(out, r.fabric);
+    append(out, ", \"index\": %u", r.index);
+    append(out, ", \"ok\": %s, \"error\": ", r.ok() ? "true" : "false");
+    append_string(out, r.error);
+    append(out, ", \"failure\": \"%s\"",
+           std::string{to_string(r.failure)}.c_str());
+    append(out, ", \"completed\": %s, \"checks_ok\": %s",
+           r.completed ? "true" : "false", r.checks_ok ? "true" : "false");
+    append(out, ", \"cycles\": %llu, \"busy_cycles\": %llu",
+           static_cast<unsigned long long>(r.cycles),
+           static_cast<unsigned long long>(r.busy_cycles));
+    append(out, ", \"contention_cycles\": %llu, \"busy_pct\": %.4f",
+           static_cast<unsigned long long>(r.contention_cycles),
+           r.busy_pct);
+    append(out, ", \"total_instructions\": %llu, \"wall_seconds\": %.6f",
+           static_cast<unsigned long long>(r.total_instructions),
+           r.wall_seconds);
+    if (r.has_cpu_truth)
+        append(out,
+               ", \"cpu_completed\": %s, \"cpu_cycles\": %llu"
+               ", \"cpu_wall_seconds\": %.6f, \"err_pct\": %.4f",
+               r.cpu_completed ? "true" : "false",
+               static_cast<unsigned long long>(r.cpu_cycles),
+               r.cpu_wall_seconds, r.err_pct);
+    if (r.has_latency) {
+        append(out,
+               ", \"offered_rate\": %.6f, \"accepted_rate\": %.6f"
+               ", \"packets\": %llu",
+               r.offered_rate, r.accepted_rate,
+               static_cast<unsigned long long>(r.packets));
+        append(out,
+               ", \"lat_count\": %llu, \"lat_mean\": %.4f"
+               ", \"lat_p50\": %llu, \"lat_p99\": %llu, \"lat_max\": %llu",
+               static_cast<unsigned long long>(r.lat_count), r.lat_mean,
+               static_cast<unsigned long long>(r.lat_p50),
+               static_cast<unsigned long long>(r.lat_p99),
+               static_cast<unsigned long long>(r.lat_max));
+    }
+    if (r.analytic)
+        append(out, ", \"analytic\": true, \"predicted_saturation\": %.6f",
+               r.predicted_saturation);
+    out += "}";
+}
 
 std::string json_report(const std::vector<SweepResult>& results,
                         const SweepMeta& meta) {
     std::string out;
-    out += "{\n  \"sweep\": {\"app\": ";
-    append_string(out, meta.app);
-    append(out, ", \"cores\": %u, \"jobs\": %u", meta.n_cores, meta.jobs);
-    append(out, ", \"max_cycles\": %llu},\n  \"candidates\": [",
-           static_cast<unsigned long long>(meta.max_cycles));
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const SweepResult& r = results[i];
-        out += i ? ",\n    {" : "\n    {";
-        out += "\"name\": ";
-        append_string(out, r.name);
-        out += ", \"fabric\": ";
-        append_string(out, r.fabric);
-        append(out, ", \"index\": %u", r.index);
-        append(out, ", \"ok\": %s, \"error\": ", r.ok() ? "true" : "false");
-        append_string(out, r.error);
-        append(out, ", \"completed\": %s, \"checks_ok\": %s",
-               r.completed ? "true" : "false", r.checks_ok ? "true" : "false");
-        append(out, ", \"cycles\": %llu, \"busy_cycles\": %llu",
-               static_cast<unsigned long long>(r.cycles),
-               static_cast<unsigned long long>(r.busy_cycles));
-        append(out, ", \"contention_cycles\": %llu, \"busy_pct\": %.4f",
-               static_cast<unsigned long long>(r.contention_cycles),
-               r.busy_pct);
-        append(out, ", \"total_instructions\": %llu, \"wall_seconds\": %.6f",
-               static_cast<unsigned long long>(r.total_instructions),
-               r.wall_seconds);
-        if (r.has_cpu_truth)
-            append(out,
-                   ", \"cpu_completed\": %s, \"cpu_cycles\": %llu"
-                   ", \"cpu_wall_seconds\": %.6f, \"err_pct\": %.4f",
-                   r.cpu_completed ? "true" : "false",
-                   static_cast<unsigned long long>(r.cpu_cycles),
-                   r.cpu_wall_seconds, r.err_pct);
-        if (r.has_latency) {
-            append(out,
-                   ", \"offered_rate\": %.6f, \"accepted_rate\": %.6f"
-                   ", \"packets\": %llu",
-                   r.offered_rate, r.accepted_rate,
-                   static_cast<unsigned long long>(r.packets));
-            append(out,
-                   ", \"lat_count\": %llu, \"lat_mean\": %.4f"
-                   ", \"lat_p50\": %llu, \"lat_p99\": %llu, \"lat_max\": %llu",
-                   static_cast<unsigned long long>(r.lat_count), r.lat_mean,
-                   static_cast<unsigned long long>(r.lat_p50),
-                   static_cast<unsigned long long>(r.lat_p99),
-                   static_cast<unsigned long long>(r.lat_max));
-        }
-        if (r.analytic)
-            append(out, ", \"analytic\": true, \"predicted_saturation\": %.6f",
-                   r.predicted_saturation);
-        out += "}";
-    }
-    out += "\n  ]\n}\n";
+    (void)emit_report(results, meta, [&out](const std::string& piece) {
+        out += piece;
+        return true;
+    });
     return out;
+}
+
+bool json_report_to(std::FILE* f, const std::vector<SweepResult>& results,
+                    const SweepMeta& meta) {
+    return emit_report(results, meta, [f](const std::string& piece) {
+        return std::fwrite(piece.data(), 1, piece.size(), f) == piece.size();
+    });
 }
 
 bool write_json_report(const std::vector<SweepResult>& results,
@@ -305,8 +374,7 @@ bool write_json_report(const std::vector<SweepResult>& results,
         std::fprintf(stderr, "WARN: cannot write %s\n", path.c_str());
         return false;
     }
-    const std::string text = json_report(results, meta);
-    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    const bool ok = json_report_to(f, results, meta);
     if (std::fclose(f) != 0 || !ok) {
         std::fprintf(stderr, "WARN: short write to %s\n", path.c_str());
         return false;
@@ -343,8 +411,16 @@ SweepDriver::SweepDriver(tg::PatternConfig pattern, apps::Workload context)
     tg::validate(pattern); // fail at construction, not per candidate
 }
 
+/// Thread-private scratch: the seeded per-core config vector is reused
+/// across a worker's candidate evaluations instead of being reallocated
+/// (and, for the stochastic payload, deep-copied) once per candidate.
+struct SweepDriver::EvalScratch {
+    std::vector<tg::StochasticConfig> configs;
+};
+
 SweepResult SweepDriver::evaluate(const Candidate& cand, u32 index,
-                                  const SweepOptions& opts) const {
+                                  const SweepOptions& opts,
+                                  EvalScratch& scratch) const {
     SweepResult r;
     r.name = cand.name;
     r.index = index;
@@ -362,17 +438,16 @@ SweepResult SweepDriver::evaluate(const Candidate& cand, u32 index,
             tg::PatternConfig pc = *pattern_;
             if (cand.injection_rate > 0.0)
                 pc.injection_rate = cand.injection_rate;
-            std::vector<tg::StochasticConfig> seeded =
-                tg::make_pattern_configs(pc);
+            tg::make_pattern_configs(pc, scratch.configs);
             for (u32 core = 0; core < n_cores_; ++core)
-                seeded[core].seed = derive_seed(opts.seed, index, core);
-            p.load_stochastic(seeded, context_);
+                scratch.configs[core].seed = derive_seed(opts.seed, index, core);
+            p.load_stochastic(scratch.configs, context_);
             r.offered_rate = pc.injection_rate;
         } else {
-            std::vector<tg::StochasticConfig> seeded = stochastic_;
+            scratch.configs = stochastic_; // assignment reuses capacity
             for (u32 core = 0; core < n_cores_; ++core)
-                seeded[core].seed = derive_seed(opts.seed, index, core);
-            p.load_stochastic(seeded, context_);
+                scratch.configs[core].seed = derive_seed(opts.seed, index, core);
+            p.load_stochastic(scratch.configs, context_);
         }
         const platform::RunResult res = p.run(opts.max_cycles);
         r.completed = res.completed;
@@ -462,6 +537,59 @@ SweepResult SweepDriver::evaluate(const Candidate& cand, u32 index,
     return r;
 }
 
+namespace {
+
+/// Periodic stderr progress line over a sweep's completion counter
+/// (SweepOptions::progress). Runs on its own thread so the line keeps
+/// updating even when every worker is stuck inside one long candidate;
+/// destruction (scope exit of run_cycle) stops it after a final summary.
+class ProgressReporter {
+public:
+    ProgressReporter(const std::atomic<u32>& done, std::size_t total)
+        : done_(done), total_(total), thread_([this] { loop(); }) {}
+    ProgressReporter(const ProgressReporter&) = delete;
+    ProgressReporter& operator=(const ProgressReporter&) = delete;
+    ~ProgressReporter() {
+        {
+            std::lock_guard<std::mutex> lock{mu_};
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+        std::fprintf(stderr, "sweep: %u/%zu candidates in %.1f s\n",
+                     done_.load(std::memory_order_acquire), total_,
+                     timer_.seconds());
+    }
+
+private:
+    void loop() {
+        std::unique_lock<std::mutex> lock{mu_};
+        while (!stop_) {
+            cv_.wait_for(lock, std::chrono::seconds(2));
+            if (stop_) break;
+            const u32 d = done_.load(std::memory_order_acquire);
+            const double elapsed = timer_.seconds();
+            const double rate =
+                elapsed > 0.0 ? static_cast<double>(d) / elapsed : 0.0;
+            const double eta =
+                rate > 0.0 ? static_cast<double>(total_ - d) / rate : 0.0;
+            std::fprintf(stderr,
+                         "sweep: %u/%zu candidates, %.1f cand/s, ETA %.0f s\n",
+                         d, total_, rate, eta);
+        }
+    }
+
+    const std::atomic<u32>& done_;
+    const std::size_t total_;
+    sim::WallTimer timer_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
+} // namespace
+
 std::vector<SweepResult> SweepDriver::run_cycle(
     const std::vector<Candidate>& candidates, const SweepOptions& opts,
     const std::vector<u32>* subset, std::vector<SweepResult> seed) const {
@@ -482,13 +610,25 @@ std::vector<SweepResult> SweepDriver::run_cycle(
     // candidate keeps its ORIGINAL index (derive_seed input), so survivor
     // results are bit-identical to an all-cycle run of the same grid.
     std::atomic<u32> next{0};
+    std::atomic<u32> done{0};
     const auto work = [&] {
+        EvalScratch scratch;
         for (u32 w;
              (w = next.fetch_add(1, std::memory_order_relaxed)) < n_work;) {
             const u32 i = subset != nullptr ? (*subset)[w] : w;
-            results[i] = evaluate(candidates[i], i, opts);
+            results[i] = evaluate(candidates[i], i, opts, scratch);
+            // Checkpoint the row the moment it exists: a preempted
+            // campaign resumes from here, re-evaluating only what the
+            // journal never saw.
+            if (opts.journal != nullptr) opts.journal->append(results[i]);
+            done.fetch_add(1, std::memory_order_release);
         }
     };
+
+    // Declared after `done` so it joins (and stops reading the counter)
+    // before the counter is destroyed.
+    std::optional<ProgressReporter> progress;
+    if (opts.progress) progress.emplace(done, n_work);
 
     if (jobs == 1) {
         work(); // inline: no thread, debugger- and TSan-baseline-friendly
@@ -502,20 +642,26 @@ std::vector<SweepResult> SweepDriver::run_cycle(
 }
 
 std::vector<SweepResult> SweepDriver::run_analytic(
-    const std::vector<Candidate>& candidates, const SweepOptions& opts) const {
+    const std::vector<Candidate>& candidates, const SweepOptions& opts,
+    const std::vector<u32>* subset) const {
     std::vector<SweepResult> results(candidates.size());
     if (candidates.empty()) return results;
+    const std::size_t n_work =
+        subset != nullptr ? subset->size() : candidates.size();
+    if (n_work == 0) return results;
 
     // One immutable evaluator shared by all workers; each worker owns a
     // Workspace so steady-state screening never allocates or contends.
     const analytic::Evaluator eval{*pattern_};
-    const u32 jobs = resolve_jobs(opts.jobs, candidates.size());
+    const u32 jobs = resolve_jobs(opts.jobs, n_work);
     std::atomic<u32> next{0};
     const auto work = [&] {
         analytic::Workspace ws;
-        for (u32 i; (i = next.fetch_add(1, std::memory_order_relaxed)) <
-                    candidates.size();)
+        for (u32 w;
+             (w = next.fetch_add(1, std::memory_order_relaxed)) < n_work;) {
+            const u32 i = subset != nullptr ? (*subset)[w] : w;
             results[i] = eval.evaluate(candidates[i], i, ws);
+        }
     };
     if (jobs == 1) {
         work();
@@ -530,24 +676,71 @@ std::vector<SweepResult> SweepDriver::run_analytic(
 
 std::vector<SweepResult> SweepDriver::run(
     const std::vector<Candidate>& candidates, const SweepOptions& opts) const {
-    if (opts.tier == Tier::Cycle)
-        return run_cycle(candidates, opts, nullptr, {});
+    if (opts.shard.count == 0 || opts.shard.index >= opts.shard.count)
+        throw std::invalid_argument{
+            "SweepDriver: shard index must be < shard count (nonzero)"};
+    const bool sharded = opts.shard.count > 1;
+    const auto in_shard = [&](u32 i) {
+        return shard_of(i, opts.shard.count) == opts.shard.index;
+    };
+
+    // Rows a previous attempt journaled: reused verbatim, their indices
+    // dropped from the work set. Later duplicates win (a journal can only
+    // grow duplicates through operator error; last-write semantics keep
+    // resume deterministic anyway).
+    std::vector<const SweepResult*> resumed(candidates.size(), nullptr);
+    if (opts.resume != nullptr)
+        for (const SweepResult& r : *opts.resume)
+            if (r.index < candidates.size()) resumed[r.index] = &r;
+
+    // Compacts a full-grid result vector down to this shard's rows
+    // (ascending original index). Unsharded runs skip this entirely.
+    const auto compact = [&](std::vector<SweepResult> full) {
+        if (!sharded) return full;
+        std::vector<SweepResult> out;
+        out.reserve(full.size() / opts.shard.count + 1);
+        for (u32 i = 0; i < full.size(); ++i)
+            if (in_shard(i)) out.push_back(std::move(full[i]));
+        return out;
+    };
+
+    if (opts.tier == Tier::Cycle) {
+        std::vector<u32> work;
+        std::vector<SweepResult> seed(candidates.size());
+        for (u32 i = 0; i < candidates.size(); ++i) {
+            if (!in_shard(i)) continue;
+            if (resumed[i] != nullptr)
+                seed[i] = *resumed[i];
+            else
+                work.push_back(i);
+        }
+        return compact(run_cycle(candidates, opts, &work, std::move(seed)));
+    }
 
     if (!pattern_)
         throw std::invalid_argument{
             "SweepDriver: analytic/funnel tiers need a pattern payload"};
 
-    if (opts.tier == Tier::Analytic)
-        return run_analytic(candidates, opts);
+    if (opts.tier == Tier::Analytic) {
+        if (!sharded) return run_analytic(candidates, opts, nullptr);
+        std::vector<u32> work;
+        for (u32 i = 0; i < candidates.size(); ++i)
+            if (in_shard(i)) work.push_back(i);
+        return compact(run_analytic(candidates, opts, &work));
+    }
 
     // Funnel: analytic phase over the full grid, cycle phase over the
     // top-K predicted candidates (docs/analytic.md). Survivor selection is
     // a pure function of the deterministic analytic scores, so the funnel
-    // inherits the sweep's any-worker-count bit-identity.
+    // inherits the sweep's any-worker-count bit-identity — and because
+    // EVERY shard screens the full grid (the analytic tier is ~microseconds
+    // per candidate), every shard derives the same global top-K and
+    // cycle-simulates only survivors ∩ shard. Merged shard reports are
+    // therefore identical to an unsharded funnel run.
     if (opts.funnel_top == 0)
         throw std::invalid_argument{"SweepDriver: funnel_top must be nonzero"};
 
-    std::vector<SweepResult> scored = run_analytic(candidates, opts);
+    std::vector<SweepResult> scored = run_analytic(candidates, opts, nullptr);
 
     std::vector<u32> survivors;
     std::vector<u32> ranked;
@@ -571,7 +764,16 @@ std::vector<SweepResult> SweepDriver::run(
     survivors.insert(survivors.end(), ranked.begin(), ranked.end());
     std::sort(survivors.begin(), survivors.end());
 
-    return run_cycle(candidates, opts, &survivors, std::move(scored));
+    std::vector<u32> work;
+    work.reserve(survivors.size());
+    for (const u32 i : survivors) {
+        if (!in_shard(i)) continue;
+        if (resumed[i] != nullptr)
+            scored[i] = *resumed[i];
+        else
+            work.push_back(i);
+    }
+    return compact(run_cycle(candidates, opts, &work, std::move(scored)));
 }
 
 } // namespace tgsim::sweep

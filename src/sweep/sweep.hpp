@@ -17,6 +17,7 @@
 // any worker count — see bit_identical().
 #pragma once
 
+#include <cstdio>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -59,6 +60,19 @@ enum class Tier : u8 {
 /// Accepts "cycle", "analytic", "funnel"; nullopt for anything else.
 [[nodiscard]] std::optional<Tier> parse_tier(const std::string& name);
 
+/// One slice of a sharded sweep campaign (docs/sweep.md): candidate i
+/// belongs to shard `i % count`. The mapping is deterministic and
+/// index-preserving, so every candidate keeps the seed and result it would
+/// have in an unsharded run, and shard reports can be merged back into the
+/// canonical single-run report (see sweep/shard.hpp). {0, 1} = everything.
+struct ShardSpec {
+    u32 index = 0; ///< k in "k/N"
+    u32 count = 1; ///< N in "k/N"; must be nonzero and > index
+};
+
+class JournalWriter; // sweep/shard.hpp: append-only checkpoint journal
+struct SweepResult;  // declared below (SweepOptions::resume points at rows)
+
 struct SweepOptions {
     /// Worker threads; 0 = std::thread::hardware_concurrency(). Clamped to
     /// the candidate count. jobs == 1 runs inline on the calling thread.
@@ -83,6 +97,27 @@ struct SweepOptions {
     /// analytic model's envelope, which always passes through to the cycle
     /// tier rather than being mis-screened). Must be nonzero for Funnel.
     u32 funnel_top = 16;
+    /// Which slice of the candidate grid this run evaluates. run() returns
+    /// only the shard's rows (ascending original index). The funnel tier
+    /// still screens the FULL grid analytically in every shard, so all
+    /// shards derive the same global top-K and merged output is identical
+    /// to an unsharded funnel run (docs/sweep.md).
+    ShardSpec shard;
+    /// Checkpoint sink: every cycle-evaluated row is appended to this
+    /// journal as it completes (thread-safe; see sweep/shard.hpp). Null =
+    /// no checkpointing. Analytic rows are never journaled — recomputing
+    /// them is cheaper than reading them back.
+    JournalWriter* journal = nullptr;
+    /// Rows journaled by a previous attempt of the same campaign: their
+    /// indices are skipped and the journaled rows reused verbatim, so a
+    /// resumed run re-evaluates only unjournaled candidates. Rows whose
+    /// index falls outside this run's work set (wrong shard / not a funnel
+    /// survivor) are ignored.
+    const std::vector<SweepResult>* resume = nullptr;
+    /// Periodic progress line on stderr (done/total, cand/s, ETA) driven
+    /// from the worker pool's completion counter. Off by default so CI
+    /// logs stay clean.
+    bool progress = false;
 };
 
 /// How a candidate failed. The three kinds mean very different things to a
@@ -96,6 +131,10 @@ enum class FailureKind : u8 {
     Timeout,      ///< ran but did not complete within the cycle budget
     ChecksFailed, ///< completed but left workload memory wrong
 };
+
+/// "none", "setup_error", "timeout", "checks_failed" — the JSON encoding.
+[[nodiscard]] std::string_view to_string(FailureKind k) noexcept;
+[[nodiscard]] std::optional<FailureKind> parse_failure(const std::string& s);
 
 /// Everything measured on one candidate. All fields except the wall times
 /// are pure functions of (payload, candidate config, options) — never of
@@ -213,18 +252,42 @@ struct SaturationPoint {
 [[nodiscard]] SaturationPoint find_saturation(
     const std::vector<SweepResult>& rate_ordered);
 
-/// Report header recorded alongside the per-candidate rows.
+/// Report header recorded alongside the per-candidate rows. Everything a
+/// merge or resume needs to check that two reports describe the same
+/// campaign (sweep/shard.hpp) lives here; `jobs` and the per-row wall
+/// clocks are the only run-to-run-varying values.
 struct SweepMeta {
     std::string app;
     u32 n_cores = 0;
     u32 jobs = 0;
     Cycle max_cycles = 0;
+    Tier tier = Tier::Cycle;
+    u64 seed = 0;         ///< SweepOptions::seed the rows were derived from
+    u32 n_candidates = 0; ///< TOTAL grid size, across all shards
+    u32 funnel_top = 0;   ///< emitted when tier == Funnel
+    ShardSpec shard;      ///< emitted when count > 1
 };
 
-/// Machine-readable JSON report (deterministic field order; wall-clock
-/// fields are the only nondeterministic values).
+/// Appends the header's meta object ({"app": ..., ...}) — also the
+/// checkpoint journal's header payload.
+void append_sweep_meta(std::string& out, const SweepMeta& meta);
+
+/// Appends one candidate row as a single-line JSON object — exactly the
+/// row format json_report emits (and the journal's line format), without
+/// surrounding indentation or commas.
+void append_result_row(std::string& out, const SweepResult& r);
+
+/// Machine-readable JSON report (deterministic field order; `jobs` and the
+/// wall-clock fields are the only nondeterministic values).
 [[nodiscard]] std::string json_report(const std::vector<SweepResult>& results,
                                       const SweepMeta& meta);
+/// Incremental writer: streams the same report row by row through a small
+/// reused buffer, so million-row shard/merge reports never materialize one
+/// giant string. json_report and write_json_report ride the same emitter.
+/// Returns false when any write comes up short.
+[[nodiscard]] bool json_report_to(std::FILE* f,
+                                  const std::vector<SweepResult>& results,
+                                  const SweepMeta& meta);
 /// Returns false (after a stderr WARN) when the file cannot be written —
 /// callers surface that as a nonzero exit so scripted consumers never key
 /// off a report that does not exist.
@@ -259,9 +322,11 @@ public:
     /// derive_seed — so a rate sweep is bit-identical at any worker count.
     SweepDriver(tg::PatternConfig pattern, apps::Workload context);
 
-    /// Evaluates every candidate, `opts.jobs` at a time, one Platform
-    /// constructed/run/destroyed per worker iteration. Returns one result
-    /// per candidate, in candidate order, regardless of completion order.
+    /// Evaluates every candidate in `opts.shard`, `opts.jobs` at a time,
+    /// one Platform constructed/run/destroyed per worker iteration.
+    /// Returns one result per shard candidate, in ascending original
+    /// candidate index order, regardless of completion order — with the
+    /// default shard {0, 1} that is every candidate in submission order.
     ///
     /// opts.tier selects the evaluator: Cycle simulates everything,
     /// Analytic scores everything with the closed-form model, Funnel
@@ -278,14 +343,19 @@ public:
     [[nodiscard]] u32 n_cores() const noexcept { return n_cores_; }
 
 private:
+    /// Per-worker scratch reused across candidate evaluations (the seeded
+    /// config vector used to be copied afresh per candidate).
+    struct EvalScratch;
+
     [[nodiscard]] SweepResult evaluate(const Candidate& cand, u32 index,
-                                       const SweepOptions& opts) const;
+                                       const SweepOptions& opts,
+                                       EvalScratch& scratch) const;
     [[nodiscard]] std::vector<SweepResult> run_cycle(
         const std::vector<Candidate>& candidates, const SweepOptions& opts,
         const std::vector<u32>* subset, std::vector<SweepResult> seed) const;
     [[nodiscard]] std::vector<SweepResult> run_analytic(
-        const std::vector<Candidate>& candidates,
-        const SweepOptions& opts) const;
+        const std::vector<Candidate>& candidates, const SweepOptions& opts,
+        const std::vector<u32>* subset) const;
 
     u32 n_cores_ = 0;
     std::vector<tg::AssembledTg> binaries_;       ///< TG payload (if any)

@@ -163,6 +163,13 @@ std::vector<StochasticTarget> pattern_targets(const PatternConfig& cfg,
 }
 
 std::vector<StochasticConfig> make_pattern_configs(const PatternConfig& cfg) {
+    std::vector<StochasticConfig> out;
+    make_pattern_configs(cfg, out);
+    return out;
+}
+
+void make_pattern_configs(const PatternConfig& cfg,
+                          std::vector<StochasticConfig>& out) {
     validate(cfg);
     const u32 n = cfg.width * cfg.height;
     const double rate = cfg.injection_rate;
@@ -199,14 +206,18 @@ std::vector<StochasticConfig> make_pattern_configs(const PatternConfig& cfg) {
         }
     }
 
-    std::vector<StochasticConfig> out;
-    out.reserve(n);
+    out.resize(n);
     for (u32 core = 0; core < n; ++core) {
-        StochasticConfig c = base;
-        c.targets = pattern_targets(cfg, core);
-        out.push_back(std::move(c));
+        // Keep the element's existing targets storage alive across the
+        // overwrite so a sweep worker's scratch vector stops allocating
+        // once it has seen its largest fan-out.
+        std::vector<StochasticTarget> targets = std::move(out[core].targets);
+        targets.clear();
+        for (const DestWeight& dw : pattern_dest_weights(cfg, core))
+            targets.push_back(core_target(dw.dest, cfg.target_span, dw.weight));
+        out[core] = base;
+        out[core].targets = std::move(targets);
     }
-    return out;
 }
 
 } // namespace tgsim::tg

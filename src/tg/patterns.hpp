@@ -118,4 +118,10 @@ struct DestWeight {
 [[nodiscard]] std::vector<StochasticConfig> make_pattern_configs(
     const PatternConfig& cfg);
 
+/// Out-parameter form for hot sweep loops: refills `out` in place, reusing
+/// its capacity (and each element's targets storage) across calls instead
+/// of reallocating one config vector per candidate.
+void make_pattern_configs(const PatternConfig& cfg,
+                          std::vector<StochasticConfig>& out);
+
 } // namespace tgsim::tg

@@ -101,6 +101,24 @@ TEST(CliTier, ParsesAllTiersAndDefault) {
     EXPECT_EQ(cli::get_funnel_top(make_args({"--funnel-top=3"})), 3u);
 }
 
+TEST(CliShard, ParsesSpecAndDefaultsToUnsharded) {
+    const sweep::ShardSpec none = cli::get_shard(make_args({}));
+    EXPECT_EQ(none.index, 0u);
+    EXPECT_EQ(none.count, 1u);
+    const sweep::ShardSpec s = cli::get_shard(make_args({"--shard=2/5"}));
+    EXPECT_EQ(s.index, 2u);
+    EXPECT_EQ(s.count, 5u);
+}
+
+TEST(CliShardDeath, BadSpecsAreFatalNotDefaulted) {
+    EXPECT_EXIT((void)cli::get_shard(make_args({"--shard=3/3"})),
+                testing::ExitedWithCode(1), "--shard: bad spec '3/3'");
+    EXPECT_EXIT((void)cli::get_shard(make_args({"--shard="})),
+                testing::ExitedWithCode(1), "--shard: bad spec");
+    EXPECT_EXIT((void)cli::get_shard(make_args({"--shard=0-3"})),
+                testing::ExitedWithCode(1), "--shard: bad spec '0-3'");
+}
+
 TEST(CliTierDeath, BadValuesAreFatalNotDefaulted) {
     EXPECT_EXIT((void)cli::get_tier(make_args({"--tier=fast"})),
                 testing::ExitedWithCode(1), "--tier: unknown tier 'fast'");

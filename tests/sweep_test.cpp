@@ -320,20 +320,25 @@ TEST(JsonReport, GoldenFormat) {
     bad.fabric = "xpipes 1x1 fifo4";
     bad.index = 1;
     bad.error = "XpipesNetwork: slave node out of range";
+    bad.failure = FailureKind::SetupError;
 
     SweepMeta meta;
     meta.app = "mp_matrix";
     meta.n_cores = 2;
     meta.jobs = 4;
     meta.max_cycles = 1000;
+    meta.seed = 42;
+    meta.n_candidates = 2;
 
     const std::string expected =
         "{\n"
         "  \"sweep\": {\"app\": \"mp_matrix\", \"cores\": 2, \"jobs\": 4, "
-        "\"max_cycles\": 1000},\n"
+        "\"max_cycles\": 1000, \"tier\": \"cycle\", \"seed\": 42, "
+        "\"n_candidates\": 2},\n"
         "  \"candidates\": [\n"
         "    {\"name\": \"amba rr\", \"fabric\": \"amba rr\", \"index\": 0, "
-        "\"ok\": true, \"error\": \"\", \"completed\": true, \"checks_ok\": "
+        "\"ok\": true, \"error\": \"\", \"failure\": \"none\", "
+        "\"completed\": true, \"checks_ok\": "
         "true, \"cycles\": 15036, \"busy_cycles\": 8151, "
         "\"contention_cycles\": 7067, \"busy_pct\": 54.2500, "
         "\"total_instructions\": 7907, \"wall_seconds\": 0.250000, "
@@ -341,13 +346,26 @@ TEST(JsonReport, GoldenFormat) {
         "\"cpu_wall_seconds\": 1.500000, \"err_pct\": 0.2400},\n"
         "    {\"name\": \"broken \\\"mesh\\\"\", \"fabric\": \"xpipes 1x1 "
         "fifo4\", \"index\": 1, \"ok\": false, \"error\": \"XpipesNetwork: "
-        "slave node out of range\", \"completed\": false, \"checks_ok\": "
+        "slave node out of range\", \"failure\": \"setup_error\", "
+        "\"completed\": false, \"checks_ok\": "
         "false, \"cycles\": 0, \"busy_cycles\": 0, \"contention_cycles\": 0, "
         "\"busy_pct\": 0.0000, \"total_instructions\": 0, \"wall_seconds\": "
         "0.000000}\n"
         "  ]\n"
         "}\n";
     EXPECT_EQ(json_report({ok, bad}, meta), expected);
+
+    // Sharded funnel header: funnel_top and shard ride along.
+    meta.tier = Tier::Funnel;
+    meta.funnel_top = 8;
+    meta.shard = {1, 3};
+    std::string hdr;
+    append_sweep_meta(hdr, meta);
+    EXPECT_EQ(hdr,
+              "{\"app\": \"mp_matrix\", \"cores\": 2, \"jobs\": 4, "
+              "\"max_cycles\": 1000, \"tier\": \"funnel\", \"seed\": 42, "
+              "\"n_candidates\": 2, \"funnel_top\": 8, "
+              "\"shard\": {\"index\": 1, \"count\": 3}}");
 }
 
 } // namespace

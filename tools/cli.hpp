@@ -15,6 +15,7 @@
 
 #include "apps/apps.hpp"
 #include "platform/platform.hpp"
+#include "sweep/shard.hpp"
 #include "sweep/sweep.hpp"
 #include "tg/translator.hpp"
 
@@ -198,6 +199,26 @@ inline u32 get_funnel_top(const Args& args) {
         std::exit(1);
     }
     return top;
+}
+
+/// Shared distributed-campaign flag (docs/sweep.md), parsed in one place
+/// so tgsim_sweep and future campaign tools cannot grow drifting copies:
+///   --shard=k/N   evaluate only candidates with index % N == k (original
+///                 indices are kept, so shard reports merge byte-identically
+///                 via tgsim_merge). Absent = the whole grid.
+/// A malformed spec is a fatal usage error, never a silent full run.
+inline sweep::ShardSpec get_shard(const Args& args) {
+    const std::string spec = args.get("shard", "");
+    if (spec.empty() && !args.has("shard")) return {};
+    const auto shard = sweep::parse_shard(spec);
+    if (!shard) {
+        std::fprintf(
+            stderr,
+            "--shard: bad spec '%s' (need k/N with k < N, e.g. 0/3)\n",
+            spec.c_str());
+        std::exit(1);
+    }
+    return *shard;
 }
 
 inline std::optional<platform::IcKind> parse_ic(const std::string& name) {

@@ -1,0 +1,66 @@
+// tgsim-merge — aggregates N shard reports back into the canonical
+// single-run sweep report (docs/sweep.md).
+//
+//   tgsim-merge [--json=OUT] shard0.json shard1.json ... shardN-1.json
+//
+// Each input is a `tgsim_sweep --shard k/N --json` report. The merge
+// hard-checks the cross-shard invariants — identical campaign metadata,
+// every shard present exactly once, every candidate owned by its shard and
+// present exactly once — and refuses (exit 1, stderr diagnostic) on any
+// violation: a merged report is either exactly the unsharded campaign or
+// it does not exist. Output is the canonical deterministic form (jobs = 0,
+// wall clocks zeroed), byte-identical to `tgsim_sweep --deterministic`
+// over the same grid and options at any --jobs. Without --json the merged
+// report streams to stdout.
+#include <cstdio>
+
+#include "cli.hpp"
+#include "sweep/shard.hpp"
+#include "sweep/sweep.hpp"
+
+using namespace tgsim;
+
+int main(int argc, char** argv) {
+    const cli::Args args{argc, argv};
+    if (args.positional().empty()) {
+        std::fprintf(stderr,
+                     "usage: tgsim_merge [--json=OUT] shard0.json ... "
+                     "shardN-1.json\n");
+        return 1;
+    }
+
+    std::vector<sweep::ParsedReport> shards;
+    shards.reserve(args.positional().size());
+    std::string err;
+    for (const std::string& path : args.positional()) {
+        auto report = sweep::parse_report_file(path, &err);
+        if (!report) {
+            std::fprintf(stderr, "tgsim_merge: %s\n", err.c_str());
+            return 1;
+        }
+        shards.push_back(std::move(*report));
+    }
+
+    auto merged = sweep::merge_reports(std::move(shards), &err);
+    if (!merged) {
+        std::fprintf(stderr, "tgsim_merge: %s\n", err.c_str());
+        return 1;
+    }
+
+    const std::string json = cli::json_path(args);
+    if (json.empty()) {
+        if (!sweep::json_report_to(stdout, merged->rows, merged->meta)) {
+            std::fprintf(stderr, "tgsim_merge: short write to stdout\n");
+            return 1;
+        }
+        return 0;
+    }
+    if (!sweep::write_json_report(merged->rows, merged->meta, json)) {
+        std::fprintf(stderr, "tgsim_merge: failed to write %s\n",
+                     json.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "merged %zu shards, %zu candidates -> %s\n",
+                 args.positional().size(), merged->rows.size(), json.c_str());
+    return 0;
+}

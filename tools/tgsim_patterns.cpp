@@ -168,6 +168,9 @@ int main(int argc, char** argv) {
             meta.n_cores = n_cores;
             meta.jobs = jobs;
             meta.max_cycles = opts.max_cycles;
+            meta.tier = opts.tier;
+            meta.seed = opts.seed;
+            meta.n_candidates = static_cast<u32>(results.size());
             if (!sweep::write_json_report(results, meta, json)) {
                 std::fprintf(stderr, "failed to write %s\n", json.c_str());
                 return 1;

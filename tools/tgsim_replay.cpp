@@ -74,6 +74,9 @@ int main(int argc, char** argv) {
         meta.n_cores = driver.n_cores();
         meta.jobs = 1;
         meta.max_cycles = opts.max_cycles;
+        meta.tier = opts.tier;
+        meta.seed = opts.seed;
+        meta.n_candidates = 1;
         if (!sweep::write_json_report({r}, meta, json)) {
             std::fprintf(stderr, "failed to write %s\n", json.c_str());
             return 1;

@@ -28,15 +28,96 @@
 // predictions (plus any fabric outside the model), which is the route to
 // very large grids. Funnel survivor rows are bit-identical to an all-cycle
 // run at any --jobs. Analytic/funnel tiers require --pattern.
+//
+// Distributed-campaign flags, both modes (docs/sweep.md):
+//
+//   --shard=k/N        evaluate only candidates with index % N == k; the
+//                      report keeps original indices and records the shard,
+//                      so N shard reports merge back into the canonical
+//                      single-run report with tgsim_merge. The funnel tier
+//                      still screens the FULL grid in every shard, so the
+//                      merged funnel output equals an unsharded run.
+//   --checkpoint=FILE  append each completed cycle row to an fsync'd JSONL
+//                      journal; --resume continues a killed campaign from
+//                      it, re-evaluating only unjournaled candidates.
+//   --deterministic    emit the canonical report form (jobs = 0, wall
+//                      clocks zeroed) — byte-comparable across runs and to
+//                      tgsim_merge output.
+//   --progress         periodic progress line on stderr (off by default).
 #include <cstdio>
 
 #include "cli.hpp"
+#include "sweep/shard.hpp"
 #include "sweep/sweep.hpp"
 #include "tg/patterns.hpp"
 
 using namespace tgsim;
 
 namespace {
+
+/// Campaign state shared by both modes: the open checkpoint journal (if
+/// any) and the rows a previous attempt already evaluated.
+struct Campaign {
+    sweep::JournalWriter journal;
+    std::vector<sweep::SweepResult> resumed;
+    bool resuming = false;
+};
+
+/// Wires --checkpoint/--resume against `meta` (the campaign identity that
+/// the journal header records). Returns false after a stderr diagnostic on
+/// any usage or journal error — always before the expensive part of a run.
+bool setup_campaign(const cli::Args& args, const sweep::SweepMeta& meta,
+                    Campaign* camp) {
+    const std::string path = args.get("checkpoint", "");
+    const bool resume = args.has("resume");
+    if (path.empty()) {
+        if (resume) {
+            std::fprintf(stderr, "--resume requires --checkpoint=FILE\n");
+            return false;
+        }
+        return true;
+    }
+    // Peek at the existing file first: appending a second campaign onto a
+    // foreign journal must be an explicit decision, never an accident.
+    long size = 0;
+    if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+        std::fseek(f, 0, SEEK_END);
+        size = std::ftell(f);
+        std::fclose(f);
+    }
+    std::string err;
+    if (size > 0) {
+        if (!resume) {
+            std::fprintf(stderr,
+                         "--checkpoint: %s already exists; pass --resume to "
+                         "continue it (or remove it first)\n",
+                         path.c_str());
+            return false;
+        }
+        auto journal = sweep::load_journal(path, &err);
+        if (!journal) {
+            std::fprintf(stderr, "--resume: %s\n", err.c_str());
+            return false;
+        }
+        if (!sweep::meta_compatible(journal->meta, meta) ||
+            journal->meta.shard.index != meta.shard.index) {
+            std::fprintf(stderr,
+                         "--resume: %s was journaled by a different campaign "
+                         "(grid/options/shard differ)\n",
+                         path.c_str());
+            return false;
+        }
+        camp->resumed = std::move(journal->rows);
+        camp->resuming = true;
+        std::fprintf(stderr, "resuming: %zu journaled rows in %s\n",
+                     camp->resumed.size(), path.c_str());
+    }
+    if (!camp->journal.open(path, meta, 32, &err)) {
+        std::fprintf(stderr, "--checkpoint: %s\n", err.c_str());
+        return false;
+    }
+    return true;
+}
 
 /// Pattern-payload mode: candidates over mesh × fifo × rate, evaluated by
 /// the tier selected on the command line.
@@ -125,6 +206,8 @@ int run_pattern_mode(const cli::Args& args) {
     opts.max_cycles = args.get_u64("max-cycles", 100'000'000);
     opts.tier = cli::get_tier(args);
     opts.funnel_top = cli::get_funnel_top(args);
+    opts.shard = cli::get_shard(args);
+    opts.progress = args.has("progress");
 
     apps::Workload context; // patterns compute nothing: empty images/checks
     context.name = "pattern_" + std::string{tg::to_string(pc.pattern)};
@@ -132,15 +215,36 @@ int run_pattern_mode(const cli::Args& args) {
     try {
         const sweep::SweepDriver driver{pc, context};
         const u32 jobs = sweep::resolve_jobs(opts.jobs, candidates.size());
+
+        // The campaign identity: what the report header, the journal
+        // header and every merge/resume compatibility check agree on.
+        sweep::SweepMeta meta;
+        meta.app = context.name + " " + grid_spec;
+        meta.n_cores = n_cores;
+        meta.jobs = jobs;
+        meta.max_cycles = opts.max_cycles;
+        meta.tier = opts.tier;
+        meta.seed = opts.seed;
+        meta.n_candidates = static_cast<u32>(candidates.size());
+        if (opts.tier == sweep::Tier::Funnel) meta.funnel_top = opts.funnel_top;
+        meta.shard = opts.shard;
+
+        Campaign camp;
+        if (!setup_campaign(args, meta, &camp)) return 1;
+        if (camp.journal.is_open()) opts.journal = &camp.journal;
+        if (camp.resuming) opts.resume = &camp.resumed;
         std::printf("%s on a %ux%u core grid, %zu candidates, tier %s, "
                     "%u workers\n\n",
                     pattern_name.c_str(), pc.width, pc.height,
                     candidates.size(),
                     std::string{sweep::to_string(opts.tier)}.c_str(), jobs);
         sim::WallTimer timer;
-        const std::vector<sweep::SweepResult> results =
-            driver.run(candidates, opts);
+        std::vector<sweep::SweepResult> results = driver.run(candidates, opts);
         const double sweep_wall = timer.seconds();
+        if (camp.journal.is_open() && !camp.journal.close()) {
+            std::fprintf(stderr, "--checkpoint: journal write failed\n");
+            return 1;
+        }
 
         std::printf("%-26s %5s %12s %10s %9s\n", "candidate", "tier",
                     "cycles", "accepted", "mean lat");
@@ -176,11 +280,7 @@ int run_pattern_mode(const cli::Args& args) {
 
         const std::string json = cli::json_path(args);
         if (!json.empty()) {
-            sweep::SweepMeta meta;
-            meta.app = context.name + " " + grid_spec;
-            meta.n_cores = n_cores;
-            meta.jobs = jobs;
-            meta.max_cycles = opts.max_cycles;
+            if (args.has("deterministic")) sweep::canonicalize(meta, results);
             if (!sweep::write_json_report(results, meta, json)) {
                 std::fprintf(stderr, "failed to write %s\n", json.c_str());
                 return 1;
@@ -252,6 +352,29 @@ int main(int argc, char** argv) {
     // Numeric flags validate eagerly too — same fail-fast contract.
     const u32 jobs_flag = cli::get_jobs(args);
     const bool cpu_truth = args.has("cpu-truth");
+    sweep::SweepOptions opts;
+    opts.jobs = jobs_flag;
+    opts.max_cycles = max_cycles;
+    opts.with_cpu_truth = cpu_truth;
+    opts.shard = cli::get_shard(args);
+    opts.progress = args.has("progress");
+    const u32 jobs = sweep::resolve_jobs(opts.jobs, candidates.size());
+
+    // Campaign identity + checkpoint/resume wiring, validated before the
+    // expensive reference run so a stale journal fails in milliseconds.
+    sweep::SweepMeta meta;
+    meta.app = app;
+    meta.n_cores = static_cast<u32>(workload->cores.size());
+    meta.jobs = jobs;
+    meta.max_cycles = max_cycles;
+    meta.tier = opts.tier;
+    meta.seed = opts.seed;
+    meta.n_candidates = static_cast<u32>(candidates.size());
+    meta.shard = opts.shard;
+    Campaign camp;
+    if (!setup_campaign(args, meta, &camp)) return 1;
+    if (camp.journal.is_open()) opts.journal = &camp.journal;
+    if (camp.resuming) opts.resume = &camp.resumed;
 
     // --- one reference simulation, traced ---
     platform::PlatformConfig ref_cfg;
@@ -280,15 +403,13 @@ int main(int argc, char** argv) {
 
     // --- parallel evaluation ---
     sweep::SweepDriver driver{programs, *workload};
-    sweep::SweepOptions opts;
-    opts.jobs = jobs_flag;
-    opts.max_cycles = max_cycles;
-    opts.with_cpu_truth = cpu_truth;
-    const u32 jobs = sweep::resolve_jobs(opts.jobs, candidates.size());
     sim::WallTimer timer;
-    const std::vector<sweep::SweepResult> results =
-        driver.run(candidates, opts);
+    std::vector<sweep::SweepResult> results = driver.run(candidates, opts);
     const double sweep_wall = timer.seconds();
+    if (camp.journal.is_open() && !camp.journal.close()) {
+        std::fprintf(stderr, "--checkpoint: journal write failed\n");
+        return 1;
+    }
 
     std::printf("evaluated %zu candidates in %.3f s wall (%u workers)\n\n",
                 results.size(), sweep_wall, jobs);
@@ -324,11 +445,7 @@ int main(int argc, char** argv) {
 
     const std::string json = cli::json_path(args);
     if (!json.empty()) {
-        sweep::SweepMeta meta;
-        meta.app = app;
-        meta.n_cores = driver.n_cores();
-        meta.jobs = jobs;
-        meta.max_cycles = max_cycles;
+        if (args.has("deterministic")) sweep::canonicalize(meta, results);
         if (!sweep::write_json_report(results, meta, json)) {
             std::fprintf(stderr, "failed to write %s\n", json.c_str());
             return 1;
