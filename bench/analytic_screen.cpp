@@ -116,7 +116,10 @@ int main() {
             base_pattern(tg::Pattern::UniformRandom, 2000);
         const analytic::Evaluator eval{pc};
         const std::vector<ic::XpipesConfig> meshes{
-            {5, 4, 4}, {6, 3, 4}, {4, 5, 4}, {0, 0, 4}};
+            {5, 4, 4, true, false, {}},
+            {6, 3, 4, true, false, {}},
+            {4, 5, 4, true, false, {}},
+            {0, 0, 4, true, false, {}}};
         const auto grid = make_screen_grid(
             meshes, {2, 4, 8}, rate_ladder(100, 0.002, 0.9));
         analytic::Workspace ws;
@@ -151,7 +154,11 @@ int main() {
         context.name = "transpose";
         const sweep::SweepDriver driver{pc, context};
         const std::vector<ic::XpipesConfig> meshes{
-            {5, 4, 4}, {6, 3, 4}, {4, 5, 4}, {7, 3, 4}, {9, 2, 4}};
+            {5, 4, 4, true, false, {}},
+            {6, 3, 4, true, false, {}},
+            {4, 5, 4, true, false, {}},
+            {7, 3, 4, true, false, {}},
+            {9, 2, 4, true, false, {}}};
         const auto grid = make_screen_grid(meshes, {2, 4, 8, 16},
                                            rate_ladder(25, 0.005, 0.8));
         std::printf("funnel grid: %zu candidates\n", grid.size());
@@ -222,7 +229,9 @@ int main() {
             apps::Workload context;
             context.name = std::string{tg::to_string(p)};
             const sweep::SweepDriver driver{pc, context};
-            const auto grid = make_screen_grid({{5, 4, 4}, {6, 3, 4}}, {2, 8},
+            const auto grid = make_screen_grid({{5, 4, 4, true, false, {}},
+                                  {6, 3, 4, true, false, {}}},
+                                 {2, 8},
                                                rate_ladder(8, 0.005, 0.64));
             sweep::SweepOptions opts;
             opts.jobs = 4;

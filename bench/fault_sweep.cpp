@@ -1,0 +1,196 @@
+// Fault-injection + recovery harness — the CI gate for the reliability
+// layer (docs/faults.md).
+//
+// Three hard gates over a transpose pattern sweep on a 4x4 core grid:
+//
+//   * zero_fault: a candidate with every dormant fault knob perturbed but
+//     all rates zero must be bit_identical to the plain candidate — the
+//     fault subsystem is invisible until a rate is nonzero;
+//   * faulted rate points at the reference fault rate: the accountability
+//     invariant (injected == delivered + err_delivered + lost) must hold
+//     exactly, and the delivered-correctness ratio must clear the committed
+//     floor — graceful degradation, never silent loss;
+//   * determinism: every faulted candidate bit_identical between --jobs 1
+//     and --jobs 4, and between an unsharded run and a 2-way shard split —
+//     the same seed fires the same faults under any schedule.
+//
+// Results go to BENCH_fault_sweep.json; ci/bench_floors.json pins the
+// identity fields at 1.0 and the delivered ratio at its floor.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sweep/sweep.hpp"
+#include "tg/patterns.hpp"
+
+namespace tgsim {
+namespace {
+
+constexpr double kReferenceFaultRate = 0.03; // total, split across kinds
+
+sweep::SweepDriver make_driver(tg::PatternConfig* pc) {
+    pc->pattern = tg::Pattern::Transpose;
+    pc->width = 4;
+    pc->height = 4;
+    pc->injection_rate = 0.02;
+    pc->read_fraction = 0.5;
+    apps::Workload context;
+    context.name = "fault_transpose";
+    return sweep::SweepDriver{*pc, context};
+}
+
+platform::PlatformConfig base_cfg() {
+    platform::PlatformConfig base;
+    base.ic = platform::IcKind::Xpipes;
+    base.xpipes.width = 4;
+    base.xpipes.height = platform::xpipes_height_for(16, 4);
+    return base;
+}
+
+std::vector<sweep::SweepResult> run(const sweep::SweepDriver& driver,
+                                    const std::vector<sweep::Candidate>& cands,
+                                    u32 jobs, sweep::ShardSpec shard = {}) {
+    sweep::SweepOptions opts;
+    opts.jobs = jobs;
+    opts.max_cycles = bench::kMaxCycles;
+    opts.shard = shard;
+    return driver.run(cands, opts);
+}
+
+} // namespace
+} // namespace tgsim
+
+int main() {
+    using namespace tgsim;
+    const u64 packets = 150 * bench::scale();
+    bench::JsonReport report{"fault_sweep"};
+    bool all_ok = true;
+
+    tg::PatternConfig pc;
+    pc.packets_per_core = packets;
+    const sweep::SweepDriver driver = make_driver(&pc);
+
+    std::printf("fault injection + recovery gates (transpose 4x4, "
+                "%llu packets/core, reference fault rate %.3f)\n\n",
+                static_cast<unsigned long long>(packets),
+                kReferenceFaultRate);
+
+    // --- gate 1: zero-fault bit-identity ---
+    {
+        const auto plain = sweep::make_rate_sweep(base_cfg(), {0.02});
+        platform::PlatformConfig dormant = base_cfg();
+        dormant.xpipes.fault.seed = 0xFEEDu; // rates stay zero: disabled
+        dormant.xpipes.fault.stall_max = 3;
+        dormant.xpipes.fault.retry_timeout = 17;
+        dormant.xpipes.fault.max_retries = 1;
+        const auto perturbed = sweep::make_rate_sweep(dormant, {0.02});
+        const auto a = run(driver, plain, 1);
+        const auto b = run(driver, perturbed, 1);
+        bool identical = a.size() == 1 && b.size() == 1 && a[0].ok() &&
+                         b[0].ok() &&
+                         sweep::bit_identical(a[0], b[0]);
+        if (!identical) {
+            std::fprintf(stderr, "FATAL: dormant fault config changed the "
+                                 "zero-fault simulation\n");
+            all_ok = false;
+        }
+        std::printf("zero-fault identity: %s\n",
+                    identical ? "bit-identical" : "DIVERGED");
+        report.add_row("zero_fault",
+                       {{"identical", identical ? 1.0 : 0.0},
+                        {"cycles", static_cast<double>(a[0].cycles)}});
+    }
+
+    // --- gates 2+3: faulted ladder, accountability + determinism ---
+    platform::PlatformConfig faulted = base_cfg();
+    faulted.xpipes.fault.corrupt_rate = kReferenceFaultRate / 3.0;
+    faulted.xpipes.fault.drop_rate = kReferenceFaultRate / 3.0;
+    faulted.xpipes.fault.stall_rate = kReferenceFaultRate / 3.0;
+    faulted.xpipes.fault.seed = 20260807;
+    const auto cands =
+        sweep::make_rate_sweep(faulted, {0.01, 0.02, 0.04, 0.08});
+
+    sim::WallTimer t1;
+    const auto base1 = run(driver, cands, 1);
+    const double wall_1job = t1.seconds();
+    sim::WallTimer t4;
+    const auto jobs4 = run(driver, cands, 4);
+    const double wall_4job = t4.seconds();
+
+    // Shard split: both halves at once, original indices preserved.
+    auto sharded = run(driver, cands, 2, sweep::ShardSpec{0, 2});
+    {
+        const auto s1 = run(driver, cands, 2, sweep::ShardSpec{1, 2});
+        sharded.insert(sharded.end(), s1.begin(), s1.end());
+    }
+
+    std::printf("\n%-12s %10s %10s %10s %8s %8s %8s\n", "candidate",
+                "offered", "accepted", "delivered", "retries", "lost",
+                "csumfail");
+    for (std::size_t i = 0; i < base1.size(); ++i) {
+        const sweep::SweepResult& r = base1[i];
+        if (!r.ok() || !r.has_faults || !r.completed) {
+            std::fprintf(stderr, "FATAL: '%s' failed: %s\n", r.name.c_str(),
+                         r.error.c_str());
+            return 1;
+        }
+        const bool accounted =
+            r.fault_injected ==
+            r.fault_delivered + r.fault_err_delivered + r.fault_lost;
+        if (!accounted) {
+            std::fprintf(stderr,
+                         "FATAL: '%s' lost track of transactions "
+                         "(%llu injected vs %llu+%llu+%llu)\n",
+                         r.name.c_str(),
+                         static_cast<unsigned long long>(r.fault_injected),
+                         static_cast<unsigned long long>(r.fault_delivered),
+                         static_cast<unsigned long long>(r.fault_err_delivered),
+                         static_cast<unsigned long long>(r.fault_lost));
+            all_ok = false;
+        }
+        bool identical = sweep::bit_identical(jobs4[i], r);
+        const sweep::SweepResult* shard_row = nullptr;
+        for (const auto& s : sharded)
+            if (s.index == r.index) shard_row = &s;
+        identical = identical && shard_row != nullptr &&
+                    sweep::bit_identical(*shard_row, r);
+        if (!identical) {
+            std::fprintf(stderr,
+                         "FATAL: '%s' diverged across jobs/shard splits\n",
+                         r.name.c_str());
+            all_ok = false;
+        }
+        std::printf("%-12s %10.4f %10.4f %9.4f%% %8llu %8llu %8llu\n",
+                    r.name.c_str(), r.offered_rate, r.accepted_rate,
+                    100.0 * r.delivered_ratio,
+                    static_cast<unsigned long long>(r.fault_retries),
+                    static_cast<unsigned long long>(r.fault_lost),
+                    static_cast<unsigned long long>(r.fault_csum_fails));
+        report.add_row(
+            "faulted_" + r.name,
+            {{"delivered_ratio", r.delivered_ratio},
+             {"accounted", accounted ? 1.0 : 0.0},
+             {"identical", identical ? 1.0 : 0.0},
+             {"injected", static_cast<double>(r.fault_injected)},
+             {"recovered", static_cast<double>(r.fault_recovered)},
+             {"retries", static_cast<double>(r.fault_retries)},
+             {"lost", static_cast<double>(r.fault_lost)},
+             {"corrupted", static_cast<double>(r.fault_corrupted)},
+             {"dropped", static_cast<double>(r.fault_dropped)},
+             {"stalls", static_cast<double>(r.fault_stalls)},
+             {"csum_fails", static_cast<double>(r.fault_csum_fails)},
+             {"cycles", static_cast<double>(r.cycles)}});
+    }
+    report.add_row("summary",
+                   {{"wall_seconds_jobs1", wall_1job},
+                    {"wall_seconds_jobs4", wall_4job},
+                    {"reference_fault_rate", kReferenceFaultRate}});
+
+    if (!all_ok) {
+        std::fprintf(stderr, "FATAL: fault sweep failed a gate\n");
+        return 1;
+    }
+    return 0;
+}

@@ -69,10 +69,10 @@ int main() {
         c.cfg.ic = platform::IcKind::Xpipes;
         candidates.push_back(c);
         c.name = "xpipes 8x1";
-        c.cfg.xpipes = ic::XpipesConfig{8, 1, 4};
+        c.cfg.xpipes = ic::XpipesConfig{8, 1, 4, true, false, {}};
         candidates.push_back(c);
         c.name = "xpipes 3x3 deep";
-        c.cfg.xpipes = ic::XpipesConfig{3, 3, 8};
+        c.cfg.xpipes = ic::XpipesConfig{3, 3, 8, true, false, {}};
         candidates.push_back(c);
     }
 

@@ -120,7 +120,11 @@ void walk(u32 node, u32 dest, u32 width, int eject, Fn&& fn) {
 } // namespace
 
 bool Evaluator::supports(const sweep::Candidate& cand) noexcept {
-    return cand.cfg.ic == platform::IcKind::Xpipes;
+    // Fault-enabled candidates fall back to cycle simulation: the analytic
+    // model has no notion of drops, retries or stall back-pressure, and the
+    // screening tier must not rank what it cannot predict.
+    return cand.cfg.ic == platform::IcKind::Xpipes &&
+           !cand.cfg.xpipes.fault.enabled();
 }
 
 Evaluator::Evaluator(const tg::PatternConfig& pattern) : pattern_(pattern) {

@@ -1,0 +1,59 @@
+#include "ic/fault.hpp"
+
+#include <stdexcept>
+
+namespace tgsim::ic {
+
+namespace {
+
+/// splitmix64-style finalizer over (seed, router, serial) — the same mixing
+/// scheme sweep::derive_seed uses for per-candidate streams, duplicated here
+/// so ic does not depend on sweep. Counter-based: no sequential RNG state,
+/// so fault sites are schedule-independent by construction.
+[[nodiscard]] u64 fault_hash(u64 seed, u32 router, u64 serial) noexcept {
+    u64 z = seed ^ (0x9E3779B97F4A7C15ull * (static_cast<u64>(router) + 1));
+    z ^= serial + 0x9E3779B97F4A7C15ull + (z << 6) + (z >> 2);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+FaultModel::FaultModel(const FaultConfig& cfg) : cfg_(cfg) {
+    const auto bad_rate = [](double r) { return !(r >= 0.0 && r <= 1.0); };
+    if (bad_rate(cfg_.corrupt_rate) || bad_rate(cfg_.drop_rate) ||
+        bad_rate(cfg_.stall_rate))
+        throw std::invalid_argument{
+            "FaultModel: each fault rate must be in [0, 1]"};
+    if (cfg_.corrupt_rate + cfg_.drop_rate + cfg_.stall_rate > 1.0)
+        throw std::invalid_argument{
+            "FaultModel: fault rates must sum to at most 1"};
+    if (cfg_.enabled()) {
+        if (cfg_.stall_max == 0)
+            throw std::invalid_argument{"FaultModel: stall_max must be >= 1"};
+        if (cfg_.retry_timeout == 0)
+            throw std::invalid_argument{
+                "FaultModel: retry_timeout must be >= 1"};
+    }
+}
+
+FaultModel::Draw FaultModel::draw(u32 router, u64 serial) const noexcept {
+    const u64 h = fault_hash(cfg_.seed, router, serial);
+    // Top 53 bits -> uniform double in [0, 1); the rate windows partition
+    // [0, 1) as [corrupt | drop | stall | none].
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    Draw d;
+    if (u < cfg_.corrupt_rate) {
+        d.kind = FaultKind::Corrupt;
+        d.mask = static_cast<u32>(h >> 32) | 1u; // nonzero: always detectable
+    } else if (u < cfg_.corrupt_rate + cfg_.drop_rate) {
+        d.kind = FaultKind::Drop;
+    } else if (u < cfg_.corrupt_rate + cfg_.drop_rate + cfg_.stall_rate) {
+        d.kind = FaultKind::Stall;
+        d.stall = 1u + static_cast<u32>((h >> 32) % cfg_.stall_max);
+    }
+    return d;
+}
+
+} // namespace tgsim::ic

@@ -8,11 +8,13 @@ namespace {
 constexpr u32 kPoison = 0xDEADBEEFu;
 } // namespace
 
-XpipesNetwork::XpipesNetwork(XpipesConfig cfg) : cfg_(cfg) {
+XpipesNetwork::XpipesNetwork(XpipesConfig cfg)
+    : cfg_(cfg), fault_model_(cfg_.fault) {
     if (cfg_.width == 0 || cfg_.height == 0)
         throw std::invalid_argument{"XpipesNetwork: empty mesh"};
     if (cfg_.fifo_depth < 2)
         throw std::invalid_argument{"XpipesNetwork: fifo_depth must be >= 2"};
+    fault_on_ = cfg_.fault.enabled();
     routers_.resize(node_count());
     for (Router& r : routers_)
         for (int p = 0; p < kNumPlanes; ++p)
@@ -53,6 +55,7 @@ std::size_t XpipesNetwork::connect_slave(ocp::ChannelRef ch, u32 base, u32 size,
     SlaveNi ni;
     ni.ch = ch;
     ni.node = static_cast<u16>(node);
+    if (fault_on_) ni.last_seq.assign(node_count(), 0xFFFFFFFFu);
     slaves_.push_back(std::move(ni));
     slave_at_node_[static_cast<std::size_t>(node)] =
         static_cast<int>(slaves_.size() - 1);
@@ -130,6 +133,25 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
             head.hdr.is_resp = false;
             head.hdr.inject = now_;
             ni.inject = now_;
+            if (fault_on_) {
+                // The transaction enters the fault domain: retain the
+                // packet for replay, arm the retry timer, open the
+                // accountability window (docs/faults.md).
+                head.hdr.seq = ++ni.seq;
+                head.serial = next_serial_++;
+                ni.pkt_copy.clear();
+                ni.pkt_copy.push_back(head);
+                ni.tx_csum = csum_init();
+                ni.attempts = 0;
+                ni.first_inject = now_;
+                ni.deadline = now_ + cfg_.fault.retry_timeout;
+                ni.cur_err = false;
+                ni.synth_err = false;
+                ni.resp_taken = false;
+                ni.ack_ok = false;
+                ++pending_txns_;
+                ++stats_.reliability.injected;
+            }
             ni.tx.push_back(head);
             ++flits_active_;
             ++stats_.packets_sent;
@@ -139,18 +161,36 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
                 Flit beat;
                 beat.kind = Flit::Kind::Payload;
                 beat.payload = ch.m_data();
+                if (fault_on_) {
+                    beat.serial = next_serial_++;
+                    ni.tx_csum = csum_step(ni.tx_csum, beat.payload);
+                    ni.pkt_copy.push_back(beat);
+                }
                 ni.tx.push_back(beat);
                 ++flits_active_;
                 ni.beats = 1;
                 if (ni.beats == ni.burst) {
-                    ni.tx.push_back(make_tail(ni.inject));
+                    Flit tail = make_tail(ni.inject);
+                    if (fault_on_) {
+                        tail.serial = next_serial_++;
+                        tail.payload = ni.tx_csum;
+                        ni.pkt_copy.push_back(tail);
+                    }
+                    ni.tx.push_back(tail);
                     ++flits_active_;
-                    ni.st = MasterNi::St::Idle;
+                    ni.st = fault_on_ ? MasterNi::St::AwaitAck
+                                      : MasterNi::St::Idle;
                 } else {
                     ni.st = MasterNi::St::CollectWrite;
                 }
             } else {
-                ni.tx.push_back(make_tail(ni.inject));
+                Flit tail = make_tail(ni.inject);
+                if (fault_on_) {
+                    tail.serial = next_serial_++;
+                    tail.payload = ni.tx_csum;
+                    ni.pkt_copy.push_back(tail);
+                }
+                ni.tx.push_back(tail);
                 ++flits_active_;
                 ni.st = MasterNi::St::AwaitResp;
             }
@@ -164,21 +204,41 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
                 Flit beat;
                 beat.kind = Flit::Kind::Payload;
                 beat.payload = ch.m_data();
+                if (fault_on_) {
+                    beat.serial = next_serial_++;
+                    ni.tx_csum = csum_step(ni.tx_csum, beat.payload);
+                    ni.pkt_copy.push_back(beat);
+                }
                 ni.tx.push_back(beat);
                 ++flits_active_;
             }
             ++ni.beats;
             if (ni.beats == ni.burst) {
                 if (!ni.err) {
-                    ni.tx.push_back(make_tail(ni.inject));
+                    Flit tail = make_tail(ni.inject);
+                    if (fault_on_) {
+                        tail.serial = next_serial_++;
+                        tail.payload = ni.tx_csum;
+                        ni.pkt_copy.push_back(tail);
+                    }
+                    ni.tx.push_back(tail);
                     ++flits_active_;
                 }
-                ni.st = MasterNi::St::Idle;
+                ni.st = (fault_on_ && !ni.err) ? MasterNi::St::AwaitAck
+                                               : MasterNi::St::Idle;
             }
             any_activity_ = true;
             break;
         }
         case MasterNi::St::AwaitResp: {
+            // Fault mode: no response and nothing left to inject — check
+            // the retry timer (pkt_copy is empty once the transaction
+            // resolved or for decode-error turnarounds, disarming it).
+            if (fault_on_ && !ni.pkt_copy.empty() && ni.rx.empty() &&
+                ni.tx.empty() && now_ >= ni.deadline) {
+                retry_or_give_up(ni);
+                break;
+            }
             if (ni.rx.empty() || !ch.m_resp_accept()) break;
             const RxBeat beat = ni.rx.front();
             ch.s_resp() = beat.err ? ocp::Resp::Err : ocp::Resp::Dva;
@@ -187,11 +247,76 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
             ch.touch_s();
             ni.rx.pop_front();
             ++ni.resp_sent;
-            if (ni.resp_sent == ni.burst) ni.st = MasterNi::St::Idle;
+            if (ni.resp_sent == ni.burst) {
+                if (fault_on_ && !ni.err) complete_txn(ni);
+                ni.st = MasterNi::St::Idle;
+            }
             any_activity_ = true;
             break;
         }
+        case MasterNi::St::AwaitAck: {
+            if (ni.ack_ok) {
+                complete_txn(ni);
+                ni.ack_ok = false;
+                ni.st = MasterNi::St::Idle;
+                any_activity_ = true;
+                break;
+            }
+            if (!ni.pkt_copy.empty() && ni.tx.empty() && now_ >= ni.deadline)
+                retry_or_give_up(ni);
+            break;
+        }
     }
+}
+
+void XpipesNetwork::complete_txn(MasterNi& ni) {
+    if (ni.synth_err) return; // already resolved as lost at retry exhaustion
+    auto& rel = stats_.reliability;
+    if (ni.cur_err) {
+        ++rel.err_delivered;
+    } else {
+        ++rel.delivered;
+        if (ni.attempts > 0) {
+            ++rel.recovered;
+            rel.retry_latency.record(now_ - ni.first_inject);
+        }
+    }
+    --pending_txns_;
+    ni.pkt_copy.clear();
+}
+
+void XpipesNetwork::retry_or_give_up(MasterNi& ni) {
+    auto& rel = stats_.reliability;
+    any_activity_ = true;
+    if (ni.attempts >= cfg_.fault.max_retries) {
+        ++rel.lost;
+        --pending_txns_;
+        ni.pkt_copy.clear();
+        if (ocp::is_write(ni.cmd)) {
+            ni.st = MasterNi::St::Idle; // abandoned write, counted lost
+        } else {
+            // Reads block the master: synthesize Resp::Err beats so the
+            // transaction terminates visibly instead of hanging.
+            ni.synth_err = true;
+            ni.rx.clear();
+            for (u16 i = 0; i < ni.burst; ++i)
+                ni.rx.push_back(RxBeat{kPoison, true});
+        }
+        return;
+    }
+    ++ni.attempts;
+    ++rel.retries;
+    for (Flit f : ni.pkt_copy) {
+        f.serial = next_serial_++; // fresh serials: independent fault draws
+        ni.tx.push_back(f);
+        ++flits_active_;
+    }
+    // Bounded exponential backoff: replayed traffic must not amplify the
+    // congestion that delayed the original response.
+    const u32 shift = std::min(ni.attempts, 6u);
+    ni.deadline = now_ + (cfg_.fault.retry_timeout << shift);
+    ni.resp_taken = false;
+    ni.ack_ok = false;
 }
 
 void XpipesNetwork::eval_slave_ni(SlaveNi& ni) {
@@ -214,6 +339,23 @@ void XpipesNetwork::eval_slave_ni(SlaveNi& ni) {
             ni.beats_driven = 0;
             ni.beats_resp = 0;
             ni.pending = false;
+            if (fault_on_) {
+                // Replay dedupe: a duplicate write (its first copy was
+                // applied but the ack got lost) must not be re-applied to
+                // the slave — just re-acknowledge. Duplicate reads are
+                // idempotent and simply re-served.
+                const auto src = static_cast<std::size_t>(ni.hdr.src_node);
+                if (ni.last_seq[src] == ni.hdr.seq) {
+                    ++stats_.reliability.dup_requests;
+                    if (ocp::is_write(ni.hdr.cmd)) {
+                        push_ack(ni);
+                        any_activity_ = true;
+                        break;
+                    }
+                } else {
+                    ni.last_seq[src] = ni.hdr.seq;
+                }
+            }
             ni.st = SlaveNi::St::DriveReq;
             [[fallthrough]];
         }
@@ -228,6 +370,7 @@ void XpipesNetwork::eval_slave_ni(SlaveNi& ni) {
                     break;
                 }
                 if (ni.beats_driven == ni.hdr.burst) {
+                    if (fault_on_) push_ack(ni); // write delivered: ack it
                     ni.st = SlaveNi::St::Idle;
                     break;
                 }
@@ -254,12 +397,17 @@ void XpipesNetwork::eval_slave_ni(SlaveNi& ni) {
                 // their own creation cycle (the request's delivery sample
                 // was already taken when its Tail reached this NI).
                 ni.hdr.inject = now_;
+                ni.resp_err = false;
                 Flit head;
                 head.kind = Flit::Kind::Head;
                 head.hdr = ni.hdr;
                 head.hdr.is_resp = true;
                 head.hdr.dest_node = ni.hdr.src_node;
                 head.hdr.src_node = ni.node;
+                if (fault_on_) {
+                    head.serial = next_serial_++;
+                    ni.resp_csum = csum_init();
+                }
                 ni.tx.push_back(head);
                 ++flits_active_;
                 ++stats_.packets_sent;
@@ -271,17 +419,53 @@ void XpipesNetwork::eval_slave_ni(SlaveNi& ni) {
             beat.kind = Flit::Kind::Payload;
             beat.err = (ch.s_resp() == ocp::Resp::Err);
             beat.payload = beat.err ? kPoison : ch.s_data();
+            if (beat.err) ni.resp_err = true;
+            if (fault_on_) {
+                beat.serial = next_serial_++;
+                ni.resp_csum = csum_step(ni.resp_csum, beat.payload);
+            }
             ni.tx.push_back(beat);
             ++flits_active_;
             ++ni.beats_resp;
             if (ni.beats_resp == ni.hdr.burst) {
-                ni.tx.push_back(make_tail(ni.hdr.inject));
+                // The tail summarises the packet: err marks an Err-carrying
+                // response (kept out of the latency percentiles at the far
+                // NI), payload carries the checksum in fault mode.
+                Flit tail = make_tail(ni.hdr.inject);
+                tail.err = ni.resp_err;
+                if (fault_on_) {
+                    tail.serial = next_serial_++;
+                    tail.payload = ni.resp_csum;
+                }
+                ni.tx.push_back(tail);
                 ++flits_active_;
                 ni.st = SlaveNi::St::Idle;
             }
             break;
         }
     }
+}
+
+void XpipesNetwork::push_ack(SlaveNi& ni) {
+    // Write acknowledgement: a Head + Tail response-plane packet echoing
+    // the request's seq. Only exists in fault mode (writes stop being
+    // posted end-to-end — the documented cost of reliable delivery).
+    Flit head;
+    head.kind = Flit::Kind::Head;
+    head.hdr = ni.hdr;
+    head.hdr.is_resp = true;
+    head.hdr.dest_node = ni.hdr.src_node;
+    head.hdr.src_node = ni.node;
+    head.hdr.inject = now_;
+    head.serial = next_serial_++;
+    ni.tx.push_back(head);
+    ++flits_active_;
+    ++stats_.packets_sent;
+    Flit tail = make_tail(now_);
+    tail.serial = next_serial_++;
+    tail.payload = csum_init(); // checksum over zero payload beats
+    ni.tx.push_back(tail);
+    ++flits_active_;
 }
 
 void XpipesNetwork::enqueue_router(std::size_t r) {
@@ -301,9 +485,62 @@ void XpipesNetwork::inject(std::deque<Flit>& tx, u16 node, int port, int plane) 
     any_activity_ = true;
 }
 
+void XpipesNetwork::collect_port_faults(std::size_t r) {
+    Router& rt = routers_[r];
+    for (int p = 0; p < kNumPlanes; ++p) {
+        for (int i = 0; i < kNumPorts; ++i) {
+            auto& q = rt.in[p][i];
+            if (q.empty()) continue;
+            PortFault& pf = rt.fault[p][i];
+            pf.blocked = false;
+            if (pf.swallowing) {
+                // A drop fault consumed this packet's head; swallow the
+                // remaining flits one per cycle (link rate) until the Tail.
+                Move mv;
+                mv.router = r;
+                mv.plane = p;
+                mv.in_port = i;
+                mv.drop = true;
+                moves_.push_back(mv);
+                pf.blocked = true;
+                continue;
+            }
+            const Flit& f = q.front();
+            if (pf.serial != f.serial) {
+                // Exactly one fault decision per (router, flit), drawn
+                // when the flit reaches the FIFO head.
+                pf.serial = f.serial;
+                const FaultModel::Draw d =
+                    fault_model_.draw(static_cast<u32>(r), f.serial);
+                pf.kind = d.kind;
+                pf.mask = d.mask;
+                pf.stall_left = d.stall;
+                if (d.kind == FaultKind::Stall)
+                    ++stats_.reliability.stall_events;
+            }
+            if (pf.stall_left > 0) {
+                --pf.stall_left;
+                ++stats_.reliability.stall_cycles;
+                pf.blocked = true;
+                continue;
+            }
+            if (pf.kind == FaultKind::Drop && f.kind == Flit::Kind::Head) {
+                Move mv;
+                mv.router = r;
+                mv.plane = p;
+                mv.in_port = i;
+                mv.drop = true;
+                moves_.push_back(mv);
+                pf.blocked = true;
+            }
+        }
+    }
+}
+
 void XpipesNetwork::collect_router_moves(std::size_t r) {
     ++stats_.router_visits;
     Router& rt = routers_[r];
+    if (fault_on_) collect_port_faults(r);
     const u32 ni_rx_cap = ocp::kMaxBurstLen + 4;
     for (int p = 0; p < kNumPlanes; ++p) {
         for (int out = 0; out < kNumPorts; ++out) {
@@ -321,6 +558,8 @@ void XpipesNetwork::collect_router_moves(std::size_t r) {
                     const auto& q = rt.in[p][i];
                     if (q.empty() || q.front().kind != Flit::Kind::Head)
                         continue;
+                    if (fault_on_ && rt.fault[p][i].blocked)
+                        continue; // stalled or being dropped: not allocatable
                     if (route(static_cast<u16>(r), q.front().hdr) != out)
                         continue;
                     src = i;
@@ -333,6 +572,8 @@ void XpipesNetwork::collect_router_moves(std::size_t r) {
             if (src < 0) continue;
             const auto& q = rt.in[p][src];
             if (q.empty()) continue;
+            if (fault_on_ && rt.fault[p][src].blocked)
+                continue; // fault pre-pass withheld this flit this cycle
 
             // Destination capacities are read live: nothing pops or pushes
             // a FIFO until the apply phase, so these reads see exactly the
@@ -342,6 +583,11 @@ void XpipesNetwork::collect_router_moves(std::size_t r) {
             mv.router = r;
             mv.plane = p;
             mv.in_port = src;
+            if (fault_on_ && q.front().kind == Flit::Kind::Payload) {
+                const PortFault& pf = rt.fault[p][src];
+                if (pf.kind == FaultKind::Corrupt && pf.serial == q.front().serial)
+                    mv.corrupt_mask = pf.mask;
+            }
             if (out == kLocalMaster || out == kLocalSlave) {
                 mv.to_ni = true;
                 mv.ni_is_master = (out == kLocalMaster);
@@ -378,6 +624,88 @@ void XpipesNetwork::collect_router_moves(std::size_t r) {
     }
 }
 
+void XpipesNetwork::deliver_to_master(MasterNi& ni, const Flit& flit) {
+    switch (flit.kind) {
+        case Flit::Kind::Head: {
+            // Accept only the response the NI is actually waiting for:
+            // right state, matching seq, transaction not yet satisfied.
+            // Everything else (duplicate acks, replays overtaken by their
+            // original) is swallowed whole.
+            const bool awaiting = (ni.st == MasterNi::St::AwaitResp ||
+                                   ni.st == MasterNi::St::AwaitAck) &&
+                                  !ni.err && !ni.synth_err && !ni.resp_taken;
+            const bool want = awaiting && flit.hdr.seq == ni.seq;
+            ni.rx_discard = !want;
+            if (!want) ++stats_.reliability.stale_discarded;
+            ni.rx_stage.clear();
+            ni.rx_csum = csum_init();
+            break;
+        }
+        case Flit::Kind::Payload:
+            if (ni.rx_discard) break;
+            ni.rx_stage.push_back(RxBeat{flit.payload, flit.err});
+            ni.rx_csum = csum_step(ni.rx_csum, flit.payload);
+            break;
+        case Flit::Kind::Tail: {
+            if (ni.rx_discard) {
+                ni.rx_discard = false;
+                break;
+            }
+            if (ni.rx_csum != flit.payload) {
+                // Read data corrupted in flight: reject the packet and
+                // pull the retry deadline in — the replay starts on the
+                // next NI evaluation instead of waiting out the timeout.
+                ++stats_.reliability.checksum_fails;
+                ni.rx_stage.clear();
+                ni.deadline = now_;
+                break;
+            }
+            ++stats_.resp_packets_delivered;
+            ni.resp_taken = true;
+            if (ocp::is_write(ni.cmd)) {
+                ni.ack_ok = true; // Head+Tail ack packet
+            } else {
+                for (const RxBeat& b : ni.rx_stage) ni.rx.push_back(b);
+            }
+            ni.rx_stage.clear();
+            ni.cur_err = flit.err;
+            if (flit.err) ++stats_.resp_err_packets;
+            else if (cfg_.collect_latency)
+                stats_.packet_latency.record(now_ - flit.hdr.inject);
+            break;
+        }
+    }
+}
+
+void XpipesNetwork::deliver_to_slave(SlaveNi& ni, const Flit& flit) {
+    switch (flit.kind) {
+        case Flit::Kind::Head:
+            ni.rx_pkt_start = static_cast<u32>(ni.rx.size());
+            ni.rx_csum = csum_init();
+            ni.rx.push_back(flit);
+            break;
+        case Flit::Kind::Payload:
+            ni.rx_csum = csum_step(ni.rx_csum, flit.payload);
+            ni.rx.push_back(flit);
+            break;
+        case Flit::Kind::Tail:
+            if (ni.rx_csum != flit.payload) {
+                // Write data corrupted in flight: reject the whole packet
+                // before it touches the slave; the master's timeout
+                // replays it.
+                ++stats_.reliability.checksum_fails;
+                ni.rx.resize(ni.rx_pkt_start);
+                break;
+            }
+            ni.rx.push_back(flit);
+            ++ni.tails_in_rx;
+            ++stats_.req_packets_delivered;
+            if (cfg_.collect_latency)
+                stats_.packet_latency.record(now_ - flit.hdr.inject);
+            break;
+    }
+}
+
 void XpipesNetwork::eval_routers() {
     ++stats_.router_phase_cycles;
     moves_.clear();
@@ -400,27 +728,52 @@ void XpipesNetwork::eval_routers() {
         Flit flit = q.front();
         q.pop_front();
         --src_rt.occupancy;
-        ++stats_.flits_routed;
         any_activity_ = true;
+        if (mv.drop) {
+            // Fault: the flit vanishes. Head opens swallow mode on the
+            // port (the rest of the packet follows it into the void),
+            // Tail closes it.
+            --flits_active_;
+            PortFault& pf = src_rt.fault[mv.plane][mv.in_port];
+            pf.swallowing = (flit.kind != Flit::Kind::Tail);
+            if (flit.kind == Flit::Kind::Head)
+                ++stats_.reliability.packets_dropped;
+            continue;
+        }
+        ++stats_.flits_routed;
+        if (mv.corrupt_mask != 0) {
+            flit.payload ^= mv.corrupt_mask;
+            ++stats_.reliability.flits_corrupted;
+        }
         if (mv.to_ni) {
             --flits_active_;
             if (mv.ni_is_master) {
                 MasterNi& ni = masters_[static_cast<std::size_t>(mv.ni_index)];
-                if (flit.kind == Flit::Kind::Payload) {
+                if (fault_on_) {
+                    deliver_to_master(ni, flit);
+                } else if (flit.kind == Flit::Kind::Payload) {
                     ni.rx.push_back(RxBeat{flit.payload, flit.err});
                 } else if (flit.kind == Flit::Kind::Tail) {
                     ++stats_.resp_packets_delivered;
-                    if (cfg_.collect_latency)
+                    // Err-carrying responses are counted, not sampled: an
+                    // error turnaround is not a service time and would
+                    // skew p50/p99 (docs/traffic.md).
+                    if (flit.err) ++stats_.resp_err_packets;
+                    else if (cfg_.collect_latency)
                         stats_.packet_latency.record(now_ - flit.hdr.inject);
                 }
             } else {
                 SlaveNi& ni = slaves_[static_cast<std::size_t>(mv.ni_index)];
-                ni.rx.push_back(flit);
-                if (flit.kind == Flit::Kind::Tail) {
-                    ++ni.tails_in_rx;
-                    ++stats_.req_packets_delivered;
-                    if (cfg_.collect_latency)
-                        stats_.packet_latency.record(now_ - flit.hdr.inject);
+                if (fault_on_) {
+                    deliver_to_slave(ni, flit);
+                } else {
+                    ni.rx.push_back(flit);
+                    if (flit.kind == Flit::Kind::Tail) {
+                        ++ni.tails_in_rx;
+                        ++stats_.req_packets_delivered;
+                        if (cfg_.collect_latency)
+                            stats_.packet_latency.record(now_ - flit.hdr.inject);
+                    }
                 }
             }
         } else {
@@ -445,7 +798,7 @@ void XpipesNetwork::eval_routers() {
     };
     for (const u32 r : active_) keep(r);
     for (const Move& mv : moves_)
-        if (!mv.to_ni) keep(static_cast<u32>(mv.dst_router));
+        if (!mv.to_ni && !mv.drop) keep(static_cast<u32>(mv.dst_router));
     active_.swap(scratch_);
 }
 

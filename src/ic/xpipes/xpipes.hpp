@@ -34,8 +34,10 @@
 #include <vector>
 
 #include "ic/address_map.hpp"
+#include "ic/fault.hpp"
 #include "ic/interconnect.hpp"
 #include "stats/latency.hpp"
+#include "stats/reliability.hpp"
 
 namespace tgsim::ic {
 
@@ -52,6 +54,11 @@ struct XpipesConfig {
     /// sample storage is only paid for by the pattern/latency experiments.
     /// Purely observational — wire behaviour is identical either way.
     bool collect_latency = false;
+    /// Deterministic fault injection + the end-to-end recovery protocol
+    /// (docs/faults.md). All-zero rates (the default) keep the mesh
+    /// bit-identical to the pre-fault model: no serials, no checksums, no
+    /// acks, posted writes stay posted.
+    FaultConfig fault;
 };
 
 struct XpipesStats {
@@ -77,6 +84,14 @@ struct XpipesStats {
     /// destination NI; both planes sampled. Populated only when
     /// XpipesConfig::collect_latency.
     stats::LatencyStats packet_latency;
+    /// Response packets delivered whose Tail carried a slave Resp::Err.
+    /// These are counted here and *excluded* from packet_latency (an Err
+    /// turnaround is not a service time), so fault/error runs do not skew
+    /// p50/p99 (docs/traffic.md).
+    u64 resp_err_packets = 0;
+    /// Fault-injection and recovery accounting; only advances when
+    /// XpipesConfig::fault is enabled (docs/faults.md).
+    stats::ReliabilityStats reliability;
 };
 
 class XpipesNetwork final : public Interconnect {
@@ -92,6 +107,10 @@ public:
     void eval() override;
     void update() override { ++now_; }
     [[nodiscard]] Cycle quiet_for() const override {
+        // Fault mode: a dropped packet leaves no flits in flight, so the
+        // retry timers in the master NIs are the only recovery signal —
+        // the network must stay clocked while any transaction is pending.
+        if (fault_on_ && pending_txns_ > 0) return 0;
         return (!any_activity_ && flits_active_ == 0) ? sim::kQuietForever : 0;
     }
     /// Keeps the local cycle counter (latency stamps) aligned with kernel
@@ -132,6 +151,10 @@ private:
         u16 src_node = 0;  ///< requester's node (response routing)
         u16 dest_node = 0; ///< routing target
         bool is_resp = false;
+        /// Per-master-NI transaction sequence number (fault mode only):
+        /// stable across retries, echoed by the response/ack so master NIs
+        /// can filter stale responses and slave NIs can dedupe replays.
+        u16 seq = 0;
         /// Cycle the packet's head was created at the source NI (latency
         /// stamping, docs/traffic.md). Also copied onto the packet's Tail
         /// flit so the sample is taken when delivery completes.
@@ -146,8 +169,28 @@ private:
         /// replayed as Resp::Err at the requesting master NI.
         bool err = false;
         u32 payload = 0;
-        /// Meaningful on Head flits; Tail flits carry hdr.inject only.
+        /// Fault-mode flit identity: fault draws are a pure function of
+        /// (seed, router, serial), so fault sites are schedule-independent.
+        /// Replayed packets get fresh serials (independent draws per
+        /// attempt). Always 0 when faults are disabled.
+        u64 serial = 0;
+        /// Meaningful on Head flits; Tail flits carry hdr.inject only —
+        /// plus, in fault mode, the packet checksum in `payload` and the
+        /// response's Resp::Err summary in `err`.
         FlitHeader hdr;
+    };
+
+    /// Per-input-port fault state (fault mode only). `serial` guards the
+    /// draw: exactly one fault decision per (router, flit), re-evaluated
+    /// when a new flit reaches the FIFO head. `blocked` is recomputed by
+    /// the fault pre-pass each cycle the router is visited.
+    struct PortFault {
+        u64 serial = ~u64{0};            ///< flit the current draw applies to
+        FaultKind kind = FaultKind::None;
+        u32 mask = 0;                    ///< Corrupt: payload XOR mask
+        u32 stall_left = 0;              ///< Stall: cycles still withheld
+        bool swallowing = false;         ///< Drop: consuming the packet tail
+        bool blocked = false;            ///< port excluded from moves this cycle
     };
 
     struct Router {
@@ -159,6 +202,7 @@ private:
         /// active — and must be on the worklist — iff either is nonzero.
         u32 occupancy = 0;
         u32 bound_count = 0;
+        PortFault fault[kNumPlanes][kNumPorts];
     };
 
     /// One response beat buffered at the master NI, with its error flag.
@@ -170,7 +214,10 @@ private:
     struct MasterNi {
         ocp::ChannelRef ch;
         u16 node = 0;
-        enum class St : u8 { Idle, CollectWrite, AwaitResp } st = St::Idle;
+        /// AwaitAck exists only in fault mode: writes are no longer posted
+        /// (the NI holds the transaction until the slave's ack or retry
+        /// exhaustion) — the documented degradation cost of reliability.
+        enum class St : u8 { Idle, CollectWrite, AwaitResp, AwaitAck } st = St::Idle;
         ocp::Cmd cmd = ocp::Cmd::Idle;
         u16 burst = 1;
         u16 beats = 0;     ///< accepted write beats
@@ -179,6 +226,24 @@ private:
         Cycle inject = 0;  ///< head-creation stamp of the packet in flight
         std::deque<Flit> tx;   ///< flits awaiting injection (plane 0)
         std::deque<RxBeat> rx; ///< response beats received
+
+        // --- fault-mode recovery state (docs/faults.md) ---
+        std::vector<Flit> pkt_copy; ///< retained request for replay; empty
+                                    ///< once the transaction resolved
+        u16 seq = 0;          ///< current transaction's sequence number
+        u32 attempts = 0;     ///< replays issued for this transaction
+        u32 tx_csum = 0;      ///< running checksum of the request packet
+        Cycle deadline = 0;   ///< retry timer (checked once tx drained)
+        Cycle first_inject = 0; ///< first-attempt stamp (retry latency)
+        bool cur_err = false;   ///< accepted response carried an Err beat
+        bool synth_err = false; ///< beats synthesized after retry exhaustion
+        bool ack_ok = false;    ///< write ack received
+        bool resp_taken = false; ///< a valid response already committed
+        // Response reassembly: beats are staged and only released to rx
+        // once the tail checksum validates (store-and-forward at the NI).
+        bool rx_discard = false;    ///< swallowing a stale/unwanted response
+        u32 rx_csum = 0;            ///< staged-packet checksum accumulator
+        std::vector<RxBeat> rx_stage;
     };
 
     struct SlaveNi {
@@ -192,7 +257,16 @@ private:
         u16 beats_driven = 0;
         u16 beats_resp = 0;
         bool pending = false;
+        bool resp_err = false; ///< response packet carries >= 1 Err beat
         std::deque<Flit> tx; ///< response flits awaiting injection (plane 1)
+
+        // --- fault-mode state (docs/faults.md) ---
+        u32 rx_csum = 0;      ///< checksum of the request packet arriving
+        u32 rx_pkt_start = 0; ///< rx index where that packet's head sits
+        u32 resp_csum = 0;    ///< checksum of the response packet being built
+        /// Last sequence number served per requester node (replay dedupe);
+        /// 0xFFFFFFFF = none yet.
+        std::vector<u32> last_seq;
     };
 
     /// A committed flit transfer, collected against pre-move FIFO sizes and
@@ -208,6 +282,12 @@ private:
         int dst_port = 0;
         int ni_index = 0;
         bool ni_is_master = false;
+        /// Fault mode: discard the source flit instead of forwarding it
+        /// (drop faults / packet swallowing). Emitted as a Move so FIFOs
+        /// are still only mutated in the apply phase.
+        bool drop = false;
+        /// Fault mode: XOR the payload word with this mask on traversal.
+        u32 corrupt_mask = 0;
     };
 
     /// Tail flit carrying its packet's inject stamp (latency sampling at
@@ -230,7 +310,37 @@ private:
     /// Adds `r` to the active worklist unless already stamped this epoch.
     void enqueue_router(std::size_t r);
 
+    // --- fault-mode helpers (no-ops / never called when fault_on_ is
+    // false; docs/faults.md documents the protocol) ---
+    /// Per-port fault pre-pass: draws fault decisions for FIFO-head flits,
+    /// emits drop moves, counts down stalls, and marks blocked ports.
+    void collect_port_faults(std::size_t r);
+    /// Stale-filtering + checksum-validating response reassembly at a
+    /// master NI (apply-phase flit delivery).
+    void deliver_to_master(MasterNi& ni, const Flit& flit);
+    /// Checksum-validating request delivery at a slave NI (apply phase).
+    void deliver_to_slave(SlaveNi& ni, const Flit& flit);
+    /// Replays the retained packet with fresh serials and doubled timeout,
+    /// or — attempts exhausted — resolves the transaction as lost.
+    void retry_or_give_up(MasterNi& ni);
+    /// Transaction resolved at the master NI: delivered / err_delivered /
+    /// recovered accounting, releases the retained copy.
+    void complete_txn(MasterNi& ni);
+    /// Queues the slave NI's write acknowledgement packet (Head + Tail).
+    void push_ack(SlaveNi& ni);
+
     XpipesConfig cfg_;
+    FaultModel fault_model_;
+    /// cfg_.fault.enabled(), cached: every fault hook is guarded on it so
+    /// the zero-fault configuration takes none of the new paths.
+    bool fault_on_ = false;
+    /// Next flit serial (fault mode); NI-evaluation order is fixed, so the
+    /// assignment — and with it every fault site — is schedule-independent.
+    u64 next_serial_ = 1;
+    /// Master-NI transactions inside the fault domain not yet resolved
+    /// (delivered / Err-reported / lost). Keeps quiet_for() at 0 so retry
+    /// timers fire even when a drop left no flits in flight.
+    u32 pending_txns_ = 0;
     AddressMap map_;
     std::vector<Router> routers_;
     std::vector<MasterNi> masters_;

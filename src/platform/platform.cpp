@@ -198,6 +198,15 @@ bool Platform::all_done() const {
         if (!t->done()) return false;
     for (const auto& s : stochs_)
         if (!s->done()) return false;
+    // Fault mode: a master can retire its last posted write while the NI is
+    // still awaiting the ack (or replaying a dropped packet). The run must
+    // drain the recovery layer, or pending transactions would be harvested
+    // as neither delivered nor lost. quiet_for() is 0 exactly while flits
+    // are in flight or retries are pending; zero-fault runs never take this
+    // branch, so their cycle counts are untouched.
+    if (cfg_.ic == IcKind::Xpipes && cfg_.xpipes.fault.enabled() &&
+        ic_->quiet_for() == 0)
+        return false;
     return true;
 }
 

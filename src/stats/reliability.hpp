@@ -1,0 +1,52 @@
+// Graceful-degradation accounting for fault-injected runs (docs/faults.md).
+//
+// Counts are kept at transaction granularity on the delivery side (injected
+// / delivered / err_delivered / lost) and at event granularity on the fault
+// side (flits corrupted, packets dropped, stalls, retries). The delivery
+// counts obey a hard accountability invariant once the mesh has drained:
+//
+//     injected == delivered + err_delivered + lost
+//
+// i.e. every transaction that entered the fault domain ends recovered,
+// Resp::Err-reported, or counted lost after retry exhaustion — never
+// silently missing. tests/fault_test.cpp pins this across the full traffic
+// pattern suite.
+#pragma once
+
+#include "stats/latency.hpp"
+
+namespace tgsim::stats {
+
+struct ReliabilityStats {
+    u64 injected = 0;      ///< transactions entering the fault domain
+    u64 delivered = 0;     ///< completed correctly (incl. after retries)
+    u64 err_delivered = 0; ///< completed but carrying a slave Resp::Err
+    u64 recovered = 0;     ///< delivered transactions that needed >= 1 retry
+    u64 lost = 0;          ///< abandoned after retry exhaustion
+    u64 retries = 0;       ///< packet replays issued by master NIs
+
+    u64 flits_corrupted = 0; ///< payload words XOR-faulted on a link
+    u64 packets_dropped = 0; ///< head flits discarded at a router input
+    u64 stall_events = 0;    ///< stall faults drawn
+    u64 stall_cycles = 0;    ///< cycles flits were withheld by stalls
+    u64 checksum_fails = 0;  ///< packets rejected by the tail checksum
+    u64 stale_discarded = 0; ///< out-of-sequence responses filtered at masters
+    u64 dup_requests = 0;    ///< duplicate (retried) requests deduped at slaves
+
+    /// End-to-end latency of transactions that needed at least one retry
+    /// (first injection to final delivery, timeouts included).
+    LatencyStats retry_latency;
+
+    /// Delivered-correctness: fraction of injected transactions that
+    /// completed (correctly or Err-reported, i.e. not lost). 1.0 when
+    /// nothing was injected. Read after the mesh drains; transactions still
+    /// in flight are counted injected but not yet resolved.
+    [[nodiscard]] double delivered_ratio() const noexcept {
+        return injected == 0
+                   ? 1.0
+                   : static_cast<double>(delivered + err_delivered) /
+                         static_cast<double>(injected);
+    }
+};
+
+} // namespace tgsim::stats

@@ -383,6 +383,7 @@ bool row_from_json(const Json& j, SweepResult* r, std::string* error) {
         if (!want_double(j, "offered_rate", &r->offered_rate, error) ||
             !want_double(j, "accepted_rate", &r->accepted_rate, error) ||
             !want_u64(j, "packets", &r->packets, error) ||
+            !want_u64(j, "error_packets", &r->error_packets, error) ||
             !want_u64(j, "lat_count", &r->lat_count, error) ||
             !want_double(j, "lat_mean", &r->lat_mean, error) ||
             !want_u64(j, "lat_p50", &r->lat_p50, error) ||
@@ -394,6 +395,25 @@ bool row_from_json(const Json& j, SweepResult* r, std::string* error) {
         if (!want_bool(j, "analytic", &r->analytic, error) ||
             !want_double(j, "predicted_saturation", &r->predicted_saturation,
                          error))
+            return false;
+    }
+    if (j.find("fault_injected") != nullptr) {
+        r->has_faults = true;
+        if (!want_u64(j, "fault_injected", &r->fault_injected, error) ||
+            !want_u64(j, "fault_delivered", &r->fault_delivered, error) ||
+            !want_u64(j, "fault_err_delivered", &r->fault_err_delivered,
+                      error) ||
+            !want_u64(j, "fault_recovered", &r->fault_recovered, error) ||
+            !want_u64(j, "fault_lost", &r->fault_lost, error) ||
+            !want_u64(j, "fault_retries", &r->fault_retries, error) ||
+            !want_u64(j, "fault_corrupted", &r->fault_corrupted, error) ||
+            !want_u64(j, "fault_dropped", &r->fault_dropped, error) ||
+            !want_u64(j, "fault_stalls", &r->fault_stalls, error) ||
+            !want_u64(j, "fault_csum_fails", &r->fault_csum_fails, error) ||
+            !want_double(j, "delivered_ratio", &r->delivered_ratio, error) ||
+            !want_u64(j, "retry_lat_count", &r->retry_lat_count, error) ||
+            !want_double(j, "retry_lat_mean", &r->retry_lat_mean, error) ||
+            !want_u64(j, "retry_lat_p99", &r->retry_lat_p99, error))
             return false;
     }
     return true;
@@ -439,10 +459,19 @@ std::optional<ShardSpec> parse_shard(const std::string& s) {
 }
 
 bool meta_compatible(const SweepMeta& a, const SweepMeta& b) {
-    return a.app == b.app && a.n_cores == b.n_cores &&
-           a.max_cycles == b.max_cycles && a.tier == b.tier &&
-           a.seed == b.seed && a.n_candidates == b.n_candidates &&
-           a.funnel_top == b.funnel_top && a.shard.count == b.shard.count;
+    return meta_diff(a, b).empty();
+}
+
+std::string meta_diff(const SweepMeta& a, const SweepMeta& b) {
+    if (a.app != b.app) return "app";
+    if (a.n_cores != b.n_cores) return "cores";
+    if (a.max_cycles != b.max_cycles) return "max_cycles";
+    if (a.tier != b.tier) return "tier";
+    if (a.seed != b.seed) return "seed";
+    if (a.n_candidates != b.n_candidates) return "n_candidates";
+    if (a.funnel_top != b.funnel_top) return "funnel_top";
+    if (a.shard.count != b.shard.count) return "shard_count";
+    return "";
 }
 
 void canonicalize(SweepMeta& meta, std::vector<SweepResult>& rows) {
@@ -676,15 +705,18 @@ std::optional<ParsedReport> merge_reports(std::vector<ParsedReport> shards,
         return std::nullopt;
     }
     const SweepMeta& m0 = shards[0].meta;
-    for (std::size_t i = 1; i < shards.size(); ++i)
-        if (!meta_compatible(m0, shards[i].meta)) {
-            char msg[80];
+    for (std::size_t i = 1; i < shards.size(); ++i) {
+        const std::string field = meta_diff(m0, shards[i].meta);
+        if (!field.empty()) {
+            char msg[112];
             std::snprintf(msg, sizeof msg,
-                          "metadata mismatch between shard reports 0 and %zu",
-                          i);
+                          "metadata mismatch between shard reports 0 and %zu:"
+                          " field '%s' differs",
+                          i, field.c_str());
             set_error(error, msg);
             return std::nullopt;
         }
+    }
 
     const u32 count = m0.shard.count;
     if (shards.size() != count) {
@@ -732,8 +764,10 @@ std::optional<ParsedReport> merge_reports(std::vector<ParsedReport> shards,
                 return std::nullopt;
             }
             if (present[r.index]) {
-                std::snprintf(msg, sizeof msg, "duplicate candidate %u",
-                              r.index);
+                std::snprintf(msg, sizeof msg,
+                              "duplicate candidate %u (appears again in"
+                              " shard %u/%u)",
+                              r.index, k, count);
                 set_error(error, msg);
                 return std::nullopt;
             }

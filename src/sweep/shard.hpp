@@ -40,6 +40,13 @@ namespace tgsim::sweep {
 /// in both.
 [[nodiscard]] bool meta_compatible(const SweepMeta& a, const SweepMeta& b);
 
+/// Name of the first header field on which the two campaigns differ
+/// ("app", "cores", "max_cycles", "tier", "seed", "n_candidates",
+/// "funnel_top", "shard_count"), or "" when meta_compatible(a, b). Merge
+/// and resume diagnostics name the offending field instead of a generic
+/// "metadata mismatch".
+[[nodiscard]] std::string meta_diff(const SweepMeta& a, const SweepMeta& b);
+
 /// Rewrites (meta, rows) into the canonical deterministic form: jobs = 0
 /// and every wall-clock field zeroed. Two runs of the same campaign agree
 /// byte for byte on their canonical reports at any --jobs; tgsim_merge

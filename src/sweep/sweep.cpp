@@ -74,10 +74,25 @@ bool bit_identical(const SweepResult& a, const SweepResult& b) {
            a.err_pct == b.err_pct && a.has_latency == b.has_latency &&
            a.offered_rate == b.offered_rate &&
            a.accepted_rate == b.accepted_rate && a.packets == b.packets &&
+           a.error_packets == b.error_packets &&
            a.lat_count == b.lat_count && a.lat_mean == b.lat_mean &&
            a.lat_p50 == b.lat_p50 && a.lat_p99 == b.lat_p99 &&
            a.lat_max == b.lat_max && a.analytic == b.analytic &&
-           a.predicted_saturation == b.predicted_saturation;
+           a.predicted_saturation == b.predicted_saturation &&
+           a.has_faults == b.has_faults &&
+           a.fault_injected == b.fault_injected &&
+           a.fault_delivered == b.fault_delivered &&
+           a.fault_err_delivered == b.fault_err_delivered &&
+           a.fault_recovered == b.fault_recovered &&
+           a.fault_lost == b.fault_lost && a.fault_retries == b.fault_retries &&
+           a.fault_corrupted == b.fault_corrupted &&
+           a.fault_dropped == b.fault_dropped &&
+           a.fault_stalls == b.fault_stalls &&
+           a.fault_csum_fails == b.fault_csum_fails &&
+           a.delivered_ratio == b.delivered_ratio &&
+           a.retry_lat_count == b.retry_lat_count &&
+           a.retry_lat_mean == b.retry_lat_mean &&
+           a.retry_lat_p99 == b.retry_lat_p99;
 }
 
 u64 derive_seed(u64 base, u32 candidate_index, u32 core) {
@@ -102,7 +117,7 @@ std::string describe_fabric(const platform::PlatformConfig& cfg) {
         case platform::IcKind::Crossbar:
             return "crossbar";
         case platform::IcKind::Xpipes: {
-            char buf[48];
+            char buf[96];
             if (cfg.xpipes.width == 0 || cfg.xpipes.height == 0)
                 std::snprintf(buf, sizeof buf, "xpipes auto fifo%u",
                               cfg.xpipes.fifo_depth);
@@ -110,6 +125,20 @@ std::string describe_fabric(const platform::PlatformConfig& cfg) {
                 std::snprintf(buf, sizeof buf, "xpipes %ux%u fifo%u",
                               cfg.xpipes.width, cfg.xpipes.height,
                               cfg.xpipes.fifo_depth);
+            // Fault-enabled candidates are distinct design points; the
+            // zero-fault string is byte-identical to the pre-fault format.
+            if (cfg.xpipes.fault.enabled()) {
+                std::string s{buf};
+                char fb[96];
+                std::snprintf(fb, sizeof fb,
+                              " fault c%.4g d%.4g s%.4g seed%llu",
+                              cfg.xpipes.fault.corrupt_rate,
+                              cfg.xpipes.fault.drop_rate,
+                              cfg.xpipes.fault.stall_rate,
+                              static_cast<unsigned long long>(
+                                  cfg.xpipes.fault.seed));
+                return s + fb;
+            }
             return buf;
         }
     }
@@ -252,7 +281,7 @@ void append(std::string& out, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));
 
 void append(std::string& out, const char* fmt, ...) {
-    char buf[128];
+    char buf[256];
     va_list ap;
     va_start(ap, fmt);
     std::vsnprintf(buf, sizeof buf, fmt, ap);
@@ -333,9 +362,10 @@ void append_result_row(std::string& out, const SweepResult& r) {
     if (r.has_latency) {
         append(out,
                ", \"offered_rate\": %.6f, \"accepted_rate\": %.6f"
-               ", \"packets\": %llu",
+               ", \"packets\": %llu, \"error_packets\": %llu",
                r.offered_rate, r.accepted_rate,
-               static_cast<unsigned long long>(r.packets));
+               static_cast<unsigned long long>(r.packets),
+               static_cast<unsigned long long>(r.error_packets));
         append(out,
                ", \"lat_count\": %llu, \"lat_mean\": %.4f"
                ", \"lat_p50\": %llu, \"lat_p99\": %llu, \"lat_max\": %llu",
@@ -347,6 +377,35 @@ void append_result_row(std::string& out, const SweepResult& r) {
     if (r.analytic)
         append(out, ", \"analytic\": true, \"predicted_saturation\": %.6f",
                r.predicted_saturation);
+    if (r.has_faults) {
+        append(out,
+               ", \"fault_injected\": %llu, \"fault_delivered\": %llu"
+               ", \"fault_err_delivered\": %llu",
+               static_cast<unsigned long long>(r.fault_injected),
+               static_cast<unsigned long long>(r.fault_delivered),
+               static_cast<unsigned long long>(r.fault_err_delivered));
+        append(out,
+               ", \"fault_recovered\": %llu, \"fault_lost\": %llu"
+               ", \"fault_retries\": %llu",
+               static_cast<unsigned long long>(r.fault_recovered),
+               static_cast<unsigned long long>(r.fault_lost),
+               static_cast<unsigned long long>(r.fault_retries));
+        append(out,
+               ", \"fault_corrupted\": %llu, \"fault_dropped\": %llu"
+               ", \"fault_stalls\": %llu, \"fault_csum_fails\": %llu"
+               ", \"delivered_ratio\": %.6f",
+               static_cast<unsigned long long>(r.fault_corrupted),
+               static_cast<unsigned long long>(r.fault_dropped),
+               static_cast<unsigned long long>(r.fault_stalls),
+               static_cast<unsigned long long>(r.fault_csum_fails),
+               r.delivered_ratio);
+        append(out,
+               ", \"retry_lat_count\": %llu, \"retry_lat_mean\": %.4f"
+               ", \"retry_lat_p99\": %llu",
+               static_cast<unsigned long long>(r.retry_lat_count),
+               r.retry_lat_mean,
+               static_cast<unsigned long long>(r.retry_lat_p99));
+    }
     out += "}";
 }
 
@@ -461,18 +520,24 @@ SweepResult SweepDriver::evaluate(const Candidate& cand, u32 index,
             r.busy_pct = 100.0 * static_cast<double>(r.busy_cycles) /
                          static_cast<double>(res.cycles);
 
-        // Load–latency harvest: only the ×pipes mesh stamps packets, and
-        // only when the candidate asked for sample collection.
-        if (cfg.ic == platform::IcKind::Xpipes && cfg.xpipes.collect_latency) {
+        // Load–latency / reliability harvest: only the ×pipes mesh stamps
+        // packets and draws faults.
+        if (cfg.ic == platform::IcKind::Xpipes) {
             const auto* mesh =
                 dynamic_cast<const ic::XpipesNetwork*>(&p.interconnect());
-            if (mesh != nullptr) {
+            if (mesh != nullptr && cfg.xpipes.collect_latency) {
                 const ic::XpipesStats& xs = mesh->stats();
                 const auto lat = xs.packet_latency.summary();
                 r.has_latency = true;
                 r.packets = xs.req_packets_delivered;
+                r.error_packets = xs.resp_err_packets;
+                // Errored transactions are not accepted service: count
+                // them separately so fault/error runs don't inflate the
+                // throughput column.
+                const u64 good = r.packets -
+                                 std::min(r.packets, r.error_packets);
                 if (r.cycles > 0)
-                    r.accepted_rate = static_cast<double>(r.packets) /
+                    r.accepted_rate = static_cast<double>(good) /
                                       static_cast<double>(r.cycles) /
                                       static_cast<double>(n_cores_);
                 r.lat_count = lat.count;
@@ -480,6 +545,25 @@ SweepResult SweepDriver::evaluate(const Candidate& cand, u32 index,
                 r.lat_p50 = lat.p50;
                 r.lat_p99 = lat.p99;
                 r.lat_max = lat.max;
+            }
+            if (mesh != nullptr && cfg.xpipes.fault.enabled()) {
+                const stats::ReliabilityStats& rel = mesh->stats().reliability;
+                const auto rlat = rel.retry_latency.summary();
+                r.has_faults = true;
+                r.fault_injected = rel.injected;
+                r.fault_delivered = rel.delivered;
+                r.fault_err_delivered = rel.err_delivered;
+                r.fault_recovered = rel.recovered;
+                r.fault_lost = rel.lost;
+                r.fault_retries = rel.retries;
+                r.fault_corrupted = rel.flits_corrupted;
+                r.fault_dropped = rel.packets_dropped;
+                r.fault_stalls = rel.stall_events;
+                r.fault_csum_fails = rel.checksum_fails;
+                r.delivered_ratio = rel.delivered_ratio();
+                r.retry_lat_count = rlat.count;
+                r.retry_lat_mean = rlat.mean;
+                r.retry_lat_p99 = rlat.p99;
             }
         }
         if (!res.completed) {

@@ -175,6 +175,10 @@ struct SweepResult {
     double offered_rate = 0.0;
     double accepted_rate = 0.0;
     u64 packets = 0;        ///< request packets delivered to slave NIs
+    /// Responses that carried a slave Resp::Err: counted here, excluded
+    /// from the latency fields and from accepted_rate (an error turnaround
+    /// is not service), so error/fault runs do not skew p50/p99.
+    u64 error_packets = 0;
     u64 lat_count = 0;      ///< latency samples (both planes)
     double lat_mean = 0.0;  ///< cycles, head creation -> tail delivery
     u64 lat_p50 = 0;
@@ -191,6 +195,27 @@ struct SweepResult {
     /// saturation bound in transactions per core per cycle.
     bool analytic = false;
     double predicted_saturation = 0.0;
+
+    /// Fault-injection / recovery accounting (valid when has_faults: a
+    /// ×pipes candidate with an enabled FaultConfig — docs/faults.md).
+    /// Pure functions of (payload, config, seed): included in
+    /// bit_identical(), so fault sweeps carry the same any-jobs/any-shard
+    /// determinism contract as everything else.
+    bool has_faults = false;
+    u64 fault_injected = 0;      ///< transactions entering the fault domain
+    u64 fault_delivered = 0;     ///< completed correctly (incl. retried)
+    u64 fault_err_delivered = 0; ///< completed carrying a slave Resp::Err
+    u64 fault_recovered = 0;     ///< delivered needing >= 1 retry
+    u64 fault_lost = 0;          ///< abandoned after retry exhaustion
+    u64 fault_retries = 0;       ///< replays issued
+    u64 fault_corrupted = 0;     ///< payload flits XOR-faulted
+    u64 fault_dropped = 0;       ///< packets dropped at router inputs
+    u64 fault_stalls = 0;        ///< stall faults drawn
+    u64 fault_csum_fails = 0;    ///< packets rejected by the tail checksum
+    double delivered_ratio = 1.0; ///< (delivered + err_delivered) / injected
+    u64 retry_lat_count = 0;     ///< recovered-transaction latency samples
+    double retry_lat_mean = 0.0; ///< cycles, first injection -> delivery
+    u64 retry_lat_p99 = 0;
 
     [[nodiscard]] bool ok() const noexcept { return error.empty(); }
 };

@@ -148,7 +148,10 @@ inline std::vector<std::string> split_list(const std::string& value) {
 /// tgsim_patterns (logical core grid — which rejects "auto" itself).
 inline std::optional<ic::XpipesConfig> parse_mesh(const std::string& spec,
                                                   u32 fifo_depth) {
-    ic::XpipesConfig mesh{0, 0, fifo_depth};
+    ic::XpipesConfig mesh;
+    mesh.width = 0;
+    mesh.height = 0;
+    mesh.fifo_depth = fifo_depth;
     if (spec == "auto") return mesh;
     const auto x = spec.find('x');
     if (x == std::string::npos || x == 0 || x + 1 == spec.size())
@@ -219,6 +222,51 @@ inline sweep::ShardSpec get_shard(const Args& args) {
         std::exit(1);
     }
     return *shard;
+}
+
+/// Shared fault-injection flags (docs/faults.md), parsed in one place so
+/// tgsim_patterns and tgsim_sweep cannot grow drifting copies:
+///   --fault-rate=R[,R2,...]  total per-flit fault probability in [0, 1],
+///                            split evenly across corruption, drop and
+///                            transient-stall faults; 0 (the default)
+///                            disables the fault layer entirely.
+///                            tgsim_sweep pattern mode crosses a comma list
+///                            into the candidate grid as a sweep axis.
+///   --fault-seed=N           base seed of the deterministic fault stream
+///                            (default 0); a fixed seed reproduces the same
+///                            fault sites at any --jobs and in any --shard.
+[[nodiscard]] inline std::vector<double> get_fault_rates(const Args& args) {
+    std::vector<double> out;
+    for (const std::string& tok :
+         split_list(args.get("fault-rate", "0"))) {
+        const auto r = parse_rate(tok);
+        if (!r || *r > 1.0) {
+            std::fprintf(stderr,
+                         "bad --fault-rate entry '%s' (need [0, 1])\n",
+                         tok.c_str());
+            std::exit(1);
+        }
+        out.push_back(*r);
+    }
+    if (out.empty()) {
+        std::fprintf(stderr, "--fault-rate is empty\n");
+        std::exit(1);
+    }
+    return out;
+}
+
+[[nodiscard]] inline u64 get_fault_seed(const Args& args) {
+    return args.get_u64("fault-seed", 0);
+}
+
+/// FaultConfig for one axis point: the total rate is split evenly across
+/// the three fault kinds, so one scalar sweeps all of them and FaultModel's
+/// "rates sum to <= 1" validation holds for any total in [0, 1].
+[[nodiscard]] inline ic::FaultConfig make_fault(double rate, u64 seed) {
+    ic::FaultConfig f;
+    f.corrupt_rate = f.drop_rate = f.stall_rate = rate / 3.0;
+    f.seed = seed;
+    return f;
 }
 
 inline std::optional<platform::IcKind> parse_ic(const std::string& name) {

@@ -6,12 +6,20 @@
 // Each input is a `tgsim_sweep --shard k/N --json` report. The merge
 // hard-checks the cross-shard invariants — identical campaign metadata,
 // every shard present exactly once, every candidate owned by its shard and
-// present exactly once — and refuses (exit 1, stderr diagnostic) on any
-// violation: a merged report is either exactly the unsharded campaign or
-// it does not exist. Output is the canonical deterministic form (jobs = 0,
-// wall clocks zeroed), byte-identical to `tgsim_sweep --deterministic`
-// over the same grid and options at any --jobs. Without --json the merged
-// report streams to stdout.
+// present exactly once — and refuses on any violation: a merged report is
+// either exactly the unsharded campaign or it does not exist. The stderr
+// diagnostic names the specific invariant (and offending shard/candidate
+// index or metadata field), and the exit code separates the failure class
+// for scripted campaigns:
+//
+//   exit 2 — an input could not be read or parsed (not a report at all);
+//   exit 1 — all inputs parsed but a cross-shard invariant failed, usage
+//            errors, or the output could not be written.
+//
+// Output is the canonical deterministic form (jobs = 0, wall clocks
+// zeroed), byte-identical to `tgsim_sweep --deterministic` over the same
+// grid and options at any --jobs. Without --json the merged report streams
+// to stdout.
 #include <cstdio>
 
 #include "cli.hpp"
@@ -36,7 +44,7 @@ int main(int argc, char** argv) {
         auto report = sweep::parse_report_file(path, &err);
         if (!report) {
             std::fprintf(stderr, "tgsim_merge: %s\n", err.c_str());
-            return 1;
+            return 2; // parse failure: distinct from invariant violations
         }
         shards.push_back(std::move(*report));
     }

@@ -5,6 +5,7 @@
 //                  [--rates=0.005,0.01,...] [--process=uniform|poisson|bursty]
 //                  [--packets=N] [--reads=F] [--burst-frac=F] [--burst-len=N]
 //                  [--hotspot=CORE] [--hotspot-frac=F] [--fifo=N]
+//                  [--fault-rate=R] [--fault-seed=N]
 //                  [--jobs=N] [--json=PATH] [--max-cycles=N]
 //
 // --mesh gives the *logical core grid* (n_cores = W*H); the physical ×pipes
@@ -19,6 +20,12 @@
 // CI). The tool prints the load–latency table, reports the saturation
 // throughput (sweep::find_saturation), and optionally writes the standard
 // sweep JSON report with the latency columns.
+//
+// --fault-rate=R enables deterministic fault injection (docs/faults.md) at
+// every rate point: total per-flit fault probability R split evenly across
+// corruption, drop and stall, recovered by the NI retry/checksum protocol.
+// A reliability table (delivered ratio, retries, lost transactions) is
+// printed and the JSON report grows the fault_* columns.
 #include <cstdio>
 
 #include "cli.hpp"
@@ -100,12 +107,24 @@ int main(int argc, char** argv) {
     }
     pc.injection_rate = rates.front();
 
+    const auto fault_rates = cli::get_fault_rates(args);
+    if (fault_rates.size() != 1) {
+        std::fprintf(stderr,
+                     "tgsim_patterns takes a single --fault-rate; use "
+                     "tgsim_sweep --pattern for a fault-rate axis\n");
+        return 1;
+    }
+    const double fault_rate = fault_rates.front();
+    const u64 fault_seed = cli::get_fault_seed(args);
+
     const u32 n_cores = pc.width * pc.height;
     platform::PlatformConfig base;
     base.ic = platform::IcKind::Xpipes;
     base.xpipes.width = pc.width;
     base.xpipes.height = platform::xpipes_height_for(n_cores, pc.width);
     base.xpipes.fifo_depth = fifo;
+    base.xpipes.fault = cli::make_fault(fault_rate, fault_seed);
+    const bool faults_on = base.xpipes.fault.enabled();
 
     apps::Workload context; // patterns compute nothing: empty images/checks
     context.name = "pattern_" + std::string{tg::to_string(pc.pattern)};
@@ -151,6 +170,24 @@ int main(int argc, char** argv) {
                         static_cast<unsigned long long>(r.contention_cycles));
         }
 
+        if (faults_on) {
+            std::printf("\n%-12s %10s %10s %8s %8s %8s %8s\n", "candidate",
+                        "injected", "delivered", "recov", "retries", "lost",
+                        "dropped");
+            for (const sweep::SweepResult& r : results) {
+                if (!r.ok() || !r.has_faults) continue;
+                std::printf(
+                    "%-12s %10llu %9.4f%% %8llu %8llu %8llu %8llu\n",
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.fault_injected),
+                    100.0 * r.delivered_ratio,
+                    static_cast<unsigned long long>(r.fault_recovered),
+                    static_cast<unsigned long long>(r.fault_retries),
+                    static_cast<unsigned long long>(r.fault_lost),
+                    static_cast<unsigned long long>(r.fault_dropped));
+            }
+        }
+
         const sweep::SaturationPoint sat = sweep::find_saturation(results);
         if (sat.found)
             std::printf("\nsaturation at offered %.4f: throughput %.4f "
@@ -165,6 +202,14 @@ int main(int argc, char** argv) {
         if (!json.empty()) {
             sweep::SweepMeta meta;
             meta.app = context.name + " " + mesh_spec;
+            if (faults_on) {
+                // The fault axis is campaign identity: reports that differ
+                // in it must never merge or resume into each other.
+                char fb[48];
+                std::snprintf(fb, sizeof fb, " fault=%.4g@%llu", fault_rate,
+                              static_cast<unsigned long long>(fault_seed));
+                meta.app += fb;
+            }
             meta.n_cores = n_cores;
             meta.jobs = jobs;
             meta.max_cycles = opts.max_cycles;

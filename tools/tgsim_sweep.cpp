@@ -19,10 +19,17 @@
 //
 //   tgsim-sweep --pattern=transpose [--grid=4x4] [--rates=0.01,0.02,...]
 //               [--mesh=...] [--fifo=...] [--packets=N]
+//               [--fault-rate=0,0.001,...] [--fault-seed=N]
 //               [--tier=cycle|analytic|funnel] [--funnel-top=K]
 //
-// The candidate grid is every --mesh × --fifo × --rates point (×pipes
-// fabrics with latency collection). --tier=analytic scores the whole grid
+// The candidate grid is every --mesh × --fifo × --rates × --fault-rate
+// point (×pipes fabrics with latency collection). --fault-rate makes fault
+// tolerance a sweepable axis (docs/faults.md): each nonzero entry enables
+// deterministic fault injection plus the NI recovery protocol, and those
+// rows carry the fault_* reliability columns. Fault-enabled candidates are
+// always cycle-simulated (the analytic model cannot score them), and the
+// fault axis is folded into the campaign identity so shard merges and
+// journal resumes never mix fault levels. --tier=analytic scores the grid
 // with the closed-form model in microseconds per candidate; --tier=funnel
 // screens analytically and cycle-simulates only the --funnel-top best
 // predictions (plus any fabric outside the model), which is the route to
@@ -99,12 +106,14 @@ bool setup_campaign(const cli::Args& args, const sweep::SweepMeta& meta,
             std::fprintf(stderr, "--resume: %s\n", err.c_str());
             return false;
         }
-        if (!sweep::meta_compatible(journal->meta, meta) ||
-            journal->meta.shard.index != meta.shard.index) {
+        std::string field = sweep::meta_diff(journal->meta, meta);
+        if (field.empty() && journal->meta.shard.index != meta.shard.index)
+            field = "shard_index";
+        if (!field.empty()) {
             std::fprintf(stderr,
                          "--resume: %s was journaled by a different campaign "
-                         "(grid/options/shard differ)\n",
-                         path.c_str());
+                         "(field '%s' differs)\n",
+                         path.c_str(), field.c_str());
             return false;
         }
         camp->resumed = std::move(journal->rows);
@@ -169,6 +178,13 @@ int run_pattern_mode(const cli::Args& args) {
     }
     pc.injection_rate = rates.front();
 
+    // Fault axis (docs/faults.md): each entry is a total per-flit fault
+    // probability; 0 keeps the fault layer (and its grid column) off.
+    const std::vector<double> fault_rates = cli::get_fault_rates(args);
+    const u64 fault_seed = cli::get_fault_seed(args);
+    bool any_fault = false;
+    for (const double fr : fault_rates) any_fault |= fr > 0.0;
+
     // Fabric axes: every mesh shape × FIFO depth, latency-instrumented.
     std::vector<sweep::Candidate> candidates;
     for (const std::string& f : cli::split_list(args.get("fifo", "4"))) {
@@ -187,16 +203,23 @@ int run_pattern_mode(const cli::Args& args) {
                 return 1;
             }
             for (const double rate : rates) {
-                sweep::Candidate c;
-                c.cfg.ic = platform::IcKind::Xpipes;
-                c.cfg.xpipes = *mesh;
-                c.cfg.xpipes.collect_latency = true;
-                c.injection_rate = rate;
-                char buf[64];
-                std::snprintf(buf, sizeof buf, "%s r=%.4f",
-                              sweep::describe_fabric(c.cfg).c_str(), rate);
-                c.name = buf;
-                candidates.push_back(std::move(c));
+                for (const double frate : fault_rates) {
+                    sweep::Candidate c;
+                    c.cfg.ic = platform::IcKind::Xpipes;
+                    c.cfg.xpipes = *mesh;
+                    c.cfg.xpipes.collect_latency = true;
+                    c.cfg.xpipes.fault =
+                        cli::make_fault(frate, fault_seed);
+                    c.injection_rate = rate;
+                    // describe_fabric appends the fault axis itself when
+                    // it is enabled, so zero-fault names are unchanged.
+                    char buf[128];
+                    std::snprintf(buf, sizeof buf, "%s r=%.4f",
+                                  sweep::describe_fabric(c.cfg).c_str(),
+                                  rate);
+                    c.name = buf;
+                    candidates.push_back(std::move(c));
+                }
             }
         }
     }
@@ -220,6 +243,12 @@ int run_pattern_mode(const cli::Args& args) {
         // header and every merge/resume compatibility check agree on.
         sweep::SweepMeta meta;
         meta.app = context.name + " " + grid_spec;
+        if (any_fault) {
+            // The fault axis is campaign identity: shard merges and journal
+            // resumes must never mix reports with different fault levels.
+            meta.app += " fault=" + args.get("fault-rate", "0") + "@" +
+                        std::to_string(fault_seed);
+        }
         meta.n_cores = n_cores;
         meta.jobs = jobs;
         meta.max_cycles = opts.max_cycles;
