@@ -11,7 +11,10 @@
 // Each shape runs with router_gating on and off; the run must be
 // bit-identical (handshake timestamps, read data, response codes, memory
 // images, behavioural stats) — any divergence is fatal, so CI fails loudly.
-// Results go to BENCH_mesh_gating.json.
+// The 8x8 grid additionally runs as a torus (docs/topology.md): wrap links
+// plus the dateline VC planes ride the same gating contract, and the
+// torus rows feed the same identity + speedup floors in
+// ci/bench_floors.json. Results go to BENCH_mesh_gating.json.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -118,9 +121,11 @@ void load_all_to_all(MeshRig& rig, u32 width, u32 height, u32 reps) {
 }
 
 template <typename Loader>
-Observation run_one(u32 width, u32 height, bool gating, Loader&& load) {
+Observation run_one(u32 width, u32 height, bool gating,
+                    ic::TopologyKind topology, Loader&& load) {
     ic::XpipesConfig cfg{width, height, 4};
     cfg.router_gating = gating;
+    cfg.topology = topology;
     MeshRig rig{cfg};
     load(rig, width, height);
     const auto t0 = std::chrono::steady_clock::now();
@@ -153,19 +158,26 @@ int main() {
         };
         const Shape shapes[] = {{"single_flow", load_single_flow},
                                 {"all_to_all", load_all_to_all}};
-        for (const Shape& sh : shapes) {
+        for (const Shape& sh : shapes)
+        for (const ic::TopologyKind topo :
+             {ic::TopologyKind::Mesh, ic::TopologyKind::Torus}) {
+            // Torus rows only at 8x8: one size is enough to gate the wrap
+            // links + dateline VCs without doubling the bench budget.
+            if (topo == ic::TopologyKind::Torus && dim != 8) continue;
             const auto loader = [&](MeshRig& rig, u32 w, u32 h) {
                 sh.load(rig, w, h, reps);
             };
-            const auto full = run_one(dim, dim, false, loader);
-            const auto gated = run_one(dim, dim, true, loader);
+            const auto full = run_one(dim, dim, false, topo, loader);
+            const auto gated = run_one(dim, dim, true, topo, loader);
             const bool identical = gated.same_behaviour(full);
             all_identical = all_identical && identical;
             const double speedup = full.wall_seconds / gated.wall_seconds;
             const u64 bound =
                 static_cast<u64>(dim) * dim * full.router_phase_cycles;
             char row[64];
-            std::snprintf(row, sizeof row, "%ux%u_%s", dim, dim, sh.name);
+            std::snprintf(row, sizeof row, "%ux%u_%s%s", dim, dim,
+                          topo == ic::TopologyKind::Torus ? "torus_" : "",
+                          sh.name);
             std::printf("%-22s %10.4f %10.4f %7.2fx %14llu %14llu%s\n", row,
                         full.wall_seconds, gated.wall_seconds, speedup,
                         static_cast<unsigned long long>(gated.router_visits),

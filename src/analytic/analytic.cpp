@@ -10,13 +10,12 @@ namespace tgsim::analytic {
 
 namespace {
 
-// Router ports, identical to the cycle model's (ic/xpipes). Requests eject
-// through LS, responses through LM; N/S/E/W carry both planes (on separate
-// virtual-network FIFOs, so per-plane port capacity is 1 flit/cycle).
-constexpr int kNorth = 0;
-constexpr int kSouth = 1;
-constexpr int kEast = 2;
-constexpr int kWest = 3;
+// Router ports, identical to the cycle model's (ic/xpipes): the two local
+// NI ports sit after the four mesh/torus neighbour ports. Requests eject
+// through LS, responses through LM; neighbour ports carry both planes (on
+// separate virtual-network FIFOs, so per-plane port capacity is 1
+// flit/cycle). Table topologies are outside the validity envelope
+// (supports() rejects them), so the port count here is always 4 + 2.
 constexpr int kLocalMaster = 4;
 constexpr int kLocalSlave = 5;
 constexpr int kNumPorts = 6;
@@ -62,47 +61,23 @@ struct Mesh {
     return m;
 }
 
-/// XY next-hop output port at `node` toward `dest` (mirrors
-/// XpipesNetwork::route); `eject` is the local port used on arrival.
-[[nodiscard]] int next_port(u32 node, u32 dest, u32 width, int eject) noexcept {
-    const u32 x = node % width;
-    const u32 y = node / width;
-    const u32 dx = dest % width;
-    const u32 dy = dest / width;
-    if (dx > x) return kEast;
-    if (dx < x) return kWest;
-    if (dy > y) return kSouth;
-    if (dy < y) return kNorth;
-    return eject;
-}
-
-[[nodiscard]] u32 step(u32 node, int port, u32 width) noexcept {
-    switch (port) {
-        case kEast: return node + 1;
-        case kWest: return node - 1;
-        case kSouth: return node + width;
-        case kNorth: return node - width;
-        default: return node;
-    }
-}
-
-/// Walks the XY path node -> dest, invoking fn(node, out_port) for every
-/// router output port the packet claims (one per router traversed,
-/// ejection port included).
+/// Walks the topology's deterministic route node -> dest, invoking
+/// fn(node, out_port) for every router output port the packet claims (one
+/// per router traversed, ejection port included). On the mesh this visits
+/// the exact (node, port) sequence of the pre-abstraction XY walk, so the
+/// floating-point accumulation order — and every screening score — stays
+/// bit-identical across the refactor.
 template <typename Fn>
-void walk(u32 node, u32 dest, u32 width, int eject, Fn&& fn) {
+void walk(const ic::Topology& topo, u32 node, u32 dest, int eject, Fn&& fn) {
     for (;;) {
-        const int port = next_port(node, dest, width, eject);
+        const int port = topo.route(node, dest);
+        if (port < 0) {
+            fn(node, eject);
+            return;
+        }
         fn(node, port);
-        if (port == eject) return;
-        node = step(node, port, width);
+        node = topo.link(node, port)->node;
     }
-}
-
-[[nodiscard]] u32 manhattan(u32 a, u32 b, u32 width) noexcept {
-    const u32 ax = a % width, ay = a / width;
-    const u32 bx = b % width, by = b / width;
-    return (ax > bx ? ax - bx : bx - ax) + (ay > by ? ay - by : by - ay);
 }
 
 [[nodiscard]] sweep::SweepResult setup_error(const sweep::Candidate& cand,
@@ -122,8 +97,12 @@ void walk(u32 node, u32 dest, u32 width, int eject, Fn&& fn) {
 bool Evaluator::supports(const sweep::Candidate& cand) noexcept {
     // Fault-enabled candidates fall back to cycle simulation: the analytic
     // model has no notion of drops, retries or stall back-pressure, and the
-    // screening tier must not rank what it cannot predict.
+    // screening tier must not rank what it cannot predict. Table-routed
+    // graphs are cycle-only for the same reason — the M/D/1 contention
+    // model is calibrated for the regular mesh/torus channel structure, not
+    // arbitrary-degree routers behind the bubble rule (docs/analytic.md).
     return cand.cfg.ic == platform::IcKind::Xpipes &&
+           cand.cfg.xpipes.topology != ic::TopologyKind::Table &&
            !cand.cfg.xpipes.fault.enabled();
 }
 
@@ -167,8 +146,11 @@ sweep::SweepResult Evaluator::evaluate(const sweep::Candidate& cand,
     return evaluate(cand, index, ws);
 }
 
-void Evaluator::build_geometry(u32 width, u32 height, Workspace& ws) const {
-    const std::size_t nodes = std::size_t{width} * height;
+void Evaluator::build_geometry(ic::TopologyKind kind, u32 width, u32 height,
+                               Workspace& ws) const {
+    const std::unique_ptr<ic::Topology> topo =
+        ic::make_topology(kind, width, height, nullptr);
+    const std::size_t nodes = topo->node_count();
     const std::size_t ports = nodes * kNumPorts;
     ws.req_load.assign(ports, 0.0);
     ws.resp_load.assign(ports, 0.0);
@@ -194,7 +176,8 @@ void Evaluator::build_geometry(u32 width, u32 height, Workspace& ws) const {
         // Aggregate grid rate is n_cores * r; each flow carries prob of it,
         // i.e. n_cores * prob per unit per-core rate.
         const double txn_rate = f.prob * static_cast<double>(n_cores_);
-        walk(f.src, f.dest, width, kLocalSlave, [&](u32 node, int port) {
+        const std::size_t req_begin = ws.req_path.size();
+        walk(*topo, f.src, f.dest, kLocalSlave, [&](u32 node, int port) {
             const u32 p = node * kNumPorts + static_cast<u32>(port);
             ws.req_load[p] += txn_rate * req_flits_mean_;
             ws.req_pweight[p] += f.prob;
@@ -205,7 +188,7 @@ void Evaluator::build_geometry(u32 width, u32 height, Workspace& ws) const {
             // resp_flits_mean_ folds in the read fraction: only reads
             // produce a response packet, so the plane's load per
             // transaction is fr * (2 + beats), not the per-packet flits.
-            walk(f.dest, f.src, width, kLocalMaster, [&](u32 node, int port) {
+            walk(*topo, f.dest, f.src, kLocalMaster, [&](u32 node, int port) {
                 const u32 p = node * kNumPorts + static_cast<u32>(port);
                 ws.resp_load[p] += txn_rate * resp_flits_mean_;
                 ws.resp_pweight[p] += f.prob;
@@ -214,7 +197,12 @@ void Evaluator::build_geometry(u32 width, u32 height, Workspace& ws) const {
         ws.resp_off.push_back(static_cast<u32>(ws.resp_path.size()));
         ws.slave_load[f.dest] += txn_rate * slave_service;
         ws.slave_pweight[f.dest] += f.prob;
-        ws.dist.push_back(static_cast<double>(manhattan(f.src, f.dest, width)));
+        // Route hop count (links traversed): the request walk claims one
+        // port per router plus the ejection port, so hops = ports - 1.
+        // Equals the Manhattan distance on the mesh, the minimal wrapped
+        // distance on the torus.
+        ws.dist.push_back(
+            static_cast<double>(ws.req_path.size() - req_begin - 1));
     }
     ws.mean_dist = 0.0;
     for (std::size_t fi = 0; fi < flows_.size(); ++fi)
@@ -231,13 +219,15 @@ void Evaluator::build_geometry(u32 width, u32 height, Workspace& ws) const {
     ws.owner = this;
     ws.width = width;
     ws.height = height;
+    ws.topology = kind;
 }
 
 sweep::SweepResult Evaluator::evaluate(const sweep::Candidate& cand,
                                        u32 index, Workspace& ws) const {
     if (!supports(cand))
-        return setup_error(cand, index,
-                           "analytic: unsupported fabric (xpipes mesh only)");
+        return setup_error(
+            cand, index,
+            "analytic: unsupported fabric (xpipes mesh/torus only)");
     if (cand.cfg.xpipes.fifo_depth < 2)
         return setup_error(cand, index,
                            "analytic: fifo_depth must be >= 2");
@@ -261,11 +251,14 @@ sweep::SweepResult Evaluator::evaluate(const sweep::Candidate& cand,
     r.analytic = true;
     r.offered_rate = rate;
 
-    // --- geometry cache: loads, paths and bounds per mesh shape ----------
-    // A screening grid sweeps rate and FIFO depth far more often than mesh
-    // shape, so the path walks and load accumulation amortize to ~zero.
-    if (ws.owner != this || ws.width != mesh.width || ws.height != mesh.height)
-        build_geometry(mesh.width, mesh.height, ws);
+    // --- geometry cache: loads, paths and bounds per fabric shape --------
+    // A screening grid sweeps rate and FIFO depth far more often than
+    // fabric shape, so the path walks and load accumulation amortize to
+    // ~zero.
+    const ic::TopologyKind topology = cand.cfg.xpipes.topology;
+    if (ws.owner != this || ws.width != mesh.width ||
+        ws.height != mesh.height || ws.topology != topology)
+        build_geometry(topology, mesh.width, mesh.height, ws);
     const std::size_t ports = ws.req_load.size();
 
     // Slave NI service per request packet: drive beats at one per cycle

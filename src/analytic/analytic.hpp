@@ -3,14 +3,15 @@
 //
 // Where the cycle-level path simulates every flit, this evaluator *computes*
 // a candidate's figures of merit from closed-form queueing theory over the
-// XY-routed mesh geometry (the hop-count + M/D/1 approach of Mandal et al.,
-// PAPERS.md):
+// fabric's topology routes (the hop-count + M/D/1 approach of Mandal et al.,
+// PAPERS.md). Routes come from ic::Topology (mesh and torus; table graphs
+// are outside the validity envelope and funnel straight to the cycle tier):
 //
 //   * the pattern's spatial destination matrix (tg::pattern_dest_weights —
 //     the exact distribution the stochastic generators draw from) gives a
 //     set of (src, dest, probability) flows;
-//   * every flow is walked along its XY route once, accumulating offered
-//     flit load on each router output port it traverses (requests and
+//   * every flow is walked along its deterministic route once, accumulating
+//     offered flit load on each router output port it traverses (requests and
 //     responses on their separate virtual-network planes, exactly like the
 //     cycle model);
 //   * per-hop delay is zero-load traversal plus an M/D/1 waiting term
@@ -33,6 +34,7 @@
 
 #include <vector>
 
+#include "ic/topo/topo.hpp"
 #include "sweep/sweep.hpp"
 #include "tg/patterns.hpp"
 
@@ -42,17 +44,18 @@ namespace tgsim::analytic {
 /// screening never allocates. Each sweep worker owns one; the evaluator
 /// itself stays immutable and shared.
 ///
-/// Everything that depends only on (pattern, mesh geometry) — per-port
-/// offered load, flattened XY path port lists, hop distances, the
-/// saturation bounds — is cached here keyed by (evaluator, width, height):
-/// a screening grid varies rate and FIFO depth far more often than mesh
+/// Everything that depends only on (pattern, fabric geometry) — per-port
+/// offered load, flattened route port lists, hop distances, the saturation
+/// bounds — is cached here keyed by (evaluator, topology, width, height):
+/// a screening grid varies rate and FIFO depth far more often than fabric
 /// shape, so most evaluate() calls skip straight to the per-rate fixed
 /// point. Hits and misses produce bit-identical results (the cache stores
 /// exactly what a cold evaluation computes).
 struct Workspace {
     const void* owner = nullptr; ///< evaluator the cache was built for
-    u32 width = 0;               ///< cached mesh geometry
+    u32 width = 0;               ///< cached mesh/torus geometry
     u32 height = 0;
+    ic::TopologyKind topology = ic::TopologyKind::Mesh;
     std::vector<double> req_load;   ///< per (node, out-port) request-plane flits
     std::vector<double> resp_load;  ///< per (node, out-port) response-plane flits
     std::vector<double> slave_load; ///< per node: slave-NI service occupancy
@@ -68,8 +71,8 @@ struct Workspace {
     std::vector<u32> resp_path; ///< flattened per-flow response path ports
     std::vector<u32> req_off;   ///< per-flow offsets into req_path (n+1)
     std::vector<u32> resp_off;  ///< per-flow offsets into resp_path (n+1)
-    std::vector<double> dist;   ///< per-flow Manhattan distance
-    double mean_dist = 0.0;     ///< probability-weighted mean Manhattan
+    std::vector<double> dist;   ///< per-flow route hop count
+    double mean_dist = 0.0;     ///< probability-weighted mean hop count
     double max_link = 0.0;      ///< hottest port load per unit rate
     double max_slave = 0.0;     ///< hottest slave-NI occupancy per unit rate
 };
@@ -82,9 +85,10 @@ public:
     explicit Evaluator(const tg::PatternConfig& pattern);
 
     /// True when the candidate's fabric is inside the model's validity
-    /// envelope (an explicit or auto-sized ×pipes mesh). Unsupported fabrics
-    /// (bus, crossbar) evaluate to a SetupError result; a funnel passes them
-    /// straight to the cycle tier instead of mis-screening them.
+    /// envelope (an explicit or auto-sized ×pipes mesh or torus). Unsupported
+    /// fabrics (bus, crossbar, table-routed graphs) evaluate to a SetupError
+    /// result; a funnel passes them straight to the cycle tier instead of
+    /// mis-screening them.
     [[nodiscard]] static bool supports(const sweep::Candidate& cand) noexcept;
 
     /// Scores one candidate in O(flows x path length). Deterministic: a pure
@@ -107,10 +111,11 @@ private:
         double prob = 0.0; ///< fraction of src's transactions (sums to 1/src)
     };
 
-    /// Cold path of evaluate(): walks every flow's XY route once and fills
-    /// the workspace's geometry cache (per-port loads, path port lists,
-    /// saturation bounds) for the given mesh shape.
-    void build_geometry(u32 width, u32 height, Workspace& ws) const;
+    /// Cold path of evaluate(): walks every flow's topology route once and
+    /// fills the workspace's geometry cache (per-port loads, path port
+    /// lists, saturation bounds) for the given fabric shape.
+    void build_geometry(ic::TopologyKind kind, u32 width, u32 height,
+                        Workspace& ws) const;
 
     tg::PatternConfig pattern_;
     u32 n_cores_ = 0;

@@ -10,18 +10,29 @@ constexpr u32 kPoison = 0xDEADBEEFu;
 
 XpipesNetwork::XpipesNetwork(XpipesConfig cfg)
     : cfg_(cfg), fault_model_(cfg_.fault) {
-    if (cfg_.width == 0 || cfg_.height == 0)
+    if (cfg_.topology != TopologyKind::Table &&
+        (cfg_.width == 0 || cfg_.height == 0))
         throw std::invalid_argument{"XpipesNetwork: empty mesh"};
     if (cfg_.fifo_depth < 2)
         throw std::invalid_argument{"XpipesNetwork: fifo_depth must be >= 2"};
+    topo_ = make_topology(cfg_.topology, cfg_.width, cfg_.height, cfg_.graph);
+    const int nbr_ports = static_cast<int>(topo_->neighbor_ports());
+    lm_port_ = nbr_ports;
+    ls_port_ = nbr_ports + 1;
+    n_ports_ = nbr_ports + 2;
+    vc_count_ = static_cast<int>(topo_->vcs());
+    n_planes_ = kNumPlanes * vc_count_;
+    bubble_ = topo_->needs_bubble();
     fault_on_ = cfg_.fault.enabled();
     routers_.resize(node_count());
-    for (Router& r : routers_)
-        for (int p = 0; p < kNumPlanes; ++p)
-            for (int o = 0; o < kNumPorts; ++o) {
-                r.bound_in[p][o] = -1;
-                r.rr[p][o] = 0;
-            }
+    const std::size_t slots =
+        static_cast<std::size_t>(n_planes_) * static_cast<std::size_t>(n_ports_);
+    for (Router& r : routers_) {
+        r.in.resize(slots);
+        r.bound_in.assign(slots, -1);
+        r.rr.assign(slots, 0);
+        r.fault.resize(slots);
+    }
     master_at_node_.assign(node_count(), -1);
     slave_at_node_.assign(node_count(), -1);
     active_mark_.assign(node_count(), 0);
@@ -64,27 +75,9 @@ std::size_t XpipesNetwork::connect_slave(ocp::ChannelRef ch, u32 base, u32 size,
 }
 
 int XpipesNetwork::route(u16 node, const FlitHeader& hdr) const noexcept {
-    const u32 x = node % cfg_.width;
-    const u32 y = node / cfg_.width;
-    const u32 dx = hdr.dest_node % cfg_.width;
-    const u32 dy = hdr.dest_node / cfg_.width;
-    if (dx > x) return kEast;
-    if (dx < x) return kWest;
-    if (dy > y) return kSouth;
-    if (dy < y) return kNorth;
-    return hdr.is_resp ? kLocalMaster : kLocalSlave;
-}
-
-std::optional<std::size_t> XpipesNetwork::neighbor(u16 node, int port) const noexcept {
-    const u32 x = node % cfg_.width;
-    const u32 y = node / cfg_.width;
-    switch (port) {
-        case kNorth: return y > 0 ? std::optional<std::size_t>{node - cfg_.width} : std::nullopt;
-        case kSouth: return y + 1 < cfg_.height ? std::optional<std::size_t>{node + cfg_.width} : std::nullopt;
-        case kEast: return x + 1 < cfg_.width ? std::optional<std::size_t>{node + 1} : std::nullopt;
-        case kWest: return x > 0 ? std::optional<std::size_t>{node - 1} : std::nullopt;
-        default: return std::nullopt;
-    }
+    const int port = topo_->route(node, hdr.dest_node);
+    if (port >= 0) return port;
+    return hdr.is_resp ? lm_port_ : ls_port_;
 }
 
 void XpipesNetwork::eval_master_ni(MasterNi& ni) {
@@ -476,7 +469,7 @@ void XpipesNetwork::enqueue_router(std::size_t r) {
 
 void XpipesNetwork::inject(std::deque<Flit>& tx, u16 node, int port, int plane) {
     if (tx.empty()) return;
-    auto& fifo = routers_[node].in[plane][port];
+    auto& fifo = routers_[node].in[pidx(plane, port)];
     if (fifo.size() >= cfg_.fifo_depth) return;
     fifo.push_back(tx.front());
     tx.pop_front();
@@ -487,11 +480,11 @@ void XpipesNetwork::inject(std::deque<Flit>& tx, u16 node, int port, int plane) 
 
 void XpipesNetwork::collect_port_faults(std::size_t r) {
     Router& rt = routers_[r];
-    for (int p = 0; p < kNumPlanes; ++p) {
-        for (int i = 0; i < kNumPorts; ++i) {
-            auto& q = rt.in[p][i];
+    for (int p = 0; p < n_planes_; ++p) {
+        for (int i = 0; i < n_ports_; ++i) {
+            auto& q = rt.in[pidx(p, i)];
             if (q.empty()) continue;
-            PortFault& pf = rt.fault[p][i];
+            PortFault& pf = rt.fault[pidx(p, i)];
             pf.blocked = false;
             if (pf.swallowing) {
                 // A drop fault consumed this packet's head; swallow the
@@ -542,37 +535,68 @@ void XpipesNetwork::collect_router_moves(std::size_t r) {
     Router& rt = routers_[r];
     if (fault_on_) collect_port_faults(r);
     const u32 ni_rx_cap = ocp::kMaxBurstLen + 4;
-    for (int p = 0; p < kNumPlanes; ++p) {
-        for (int out = 0; out < kNumPorts; ++out) {
-            // Responses leave through LM, requests through LS; N/S/E/W
-            // carry both planes.
-            if (out == kLocalMaster && p == 0) continue;
-            if (out == kLocalSlave && p == 1) continue;
+    // The switch is allocated per *output channel* — (destination buffer
+    // plane, out port) — not per input plane. With one VC a flit's
+    // destination plane equals its source plane and this is exactly the
+    // original (plane, out) iteration. With dateline VCs the distinction
+    // is load-bearing: a packet bound for downstream VC0 must never hold
+    // the switch against a packet bound for VC1 of the same link, or the
+    // coupling re-creates the ring dependency cycle the datelines break
+    // (docs/topology.md). One binding slot per output channel also makes
+    // each downstream FIFO single-writer-per-cycle by construction, so
+    // the live capacity reads below stay exact.
+    for (int dp = 0; dp < n_planes_; ++dp) {
+        // Protocol plane: requests (0) or responses (1), VC-agnostic.
+        const int proto = dp / vc_count_;
+        const int dvc = dp % vc_count_;
+        for (int out = 0; out < n_ports_; ++out) {
+            // Responses leave through LM, requests through LS; neighbour
+            // links carry both planes. An NI rx is one resource, not one
+            // per VC, so ejects are arbitrated on the VC0 slot and drain
+            // every input VC of their protocol plane.
+            if (out == lm_port_ && proto == 0) continue;
+            if (out == ls_port_ && proto == 1) continue;
+            const bool eject = out == lm_port_ || out == ls_port_;
+            if (eject && dvc != 0) continue;
+            const std::size_t oi = pidx(dp, out);
 
-            int src = rt.bound_in[p][out];
+            // Input slot pidx(plane, port) wormhole-bound to this output
+            // channel, held from Head to Tail.
+            int src = rt.bound_in[oi];
             if (src < 0) {
-                // Allocate: round-robin over inputs with a Head flit
-                // routed to this output.
-                for (int k = 0; k < kNumPorts; ++k) {
-                    const int i = (rt.rr[p][out] + k) % kNumPorts;
-                    const auto& q = rt.in[p][i];
-                    if (q.empty() || q.front().kind != Flit::Kind::Head)
-                        continue;
-                    if (fault_on_ && rt.fault[p][i].blocked)
-                        continue; // stalled or being dropped: not allocatable
-                    if (route(static_cast<u16>(r), q.front().hdr) != out)
-                        continue;
-                    src = i;
-                    rt.bound_in[p][out] = i;
-                    ++rt.bound_count;
-                    rt.rr[p][out] = (i + 1) % kNumPorts;
-                    break;
+                // Allocate: round-robin over input ports (VC0 before VC1
+                // within a port) with a Head flit routed to this output
+                // channel.
+                for (int k = 0; k < n_ports_ && src < 0; ++k) {
+                    const int i = (rt.rr[oi] + k) % n_ports_;
+                    for (int ivc = 0; ivc < vc_count_; ++ivc) {
+                        const std::size_t si = pidx(proto * vc_count_ + ivc, i);
+                        const auto& q = rt.in[si];
+                        if (q.empty() || q.front().kind != Flit::Kind::Head)
+                            continue;
+                        if (fault_on_ && rt.fault[si].blocked)
+                            continue; // stalled or being dropped
+                        if (route(static_cast<u16>(r), q.front().hdr) != out)
+                            continue;
+                        // A Head claims exactly the VC its topology
+                        // transition assigns (pure in the inputs, so the
+                        // packet's body lands on the same plane).
+                        if (!eject && vc_count_ > 1 &&
+                            topo_->next_vc(static_cast<u32>(r), i, out,
+                                           ivc) != dvc)
+                            continue;
+                        src = static_cast<int>(si);
+                        rt.bound_in[oi] = src;
+                        ++rt.bound_count;
+                        rt.rr[oi] = (i + 1) % n_ports_;
+                        break;
+                    }
                 }
             }
             if (src < 0) continue;
-            const auto& q = rt.in[p][src];
+            const auto& q = rt.in[static_cast<std::size_t>(src)];
             if (q.empty()) continue;
-            if (fault_on_ && rt.fault[p][src].blocked)
+            if (fault_on_ && rt.fault[static_cast<std::size_t>(src)].blocked)
                 continue; // fault pre-pass withheld this flit this cycle
 
             // Destination capacities are read live: nothing pops or pushes
@@ -581,16 +605,16 @@ void XpipesNetwork::collect_router_moves(std::size_t r) {
             // writer per cycle, so committed moves cannot overfill one).
             Move mv;
             mv.router = r;
-            mv.plane = p;
-            mv.in_port = src;
+            mv.plane = src / n_ports_;
+            mv.in_port = src % n_ports_;
             if (fault_on_ && q.front().kind == Flit::Kind::Payload) {
-                const PortFault& pf = rt.fault[p][src];
+                const PortFault& pf = rt.fault[static_cast<std::size_t>(src)];
                 if (pf.kind == FaultKind::Corrupt && pf.serial == q.front().serial)
                     mv.corrupt_mask = pf.mask;
             }
-            if (out == kLocalMaster || out == kLocalSlave) {
+            if (eject) {
                 mv.to_ni = true;
-                mv.ni_is_master = (out == kLocalMaster);
+                mv.ni_is_master = (out == lm_port_);
                 const int ni = mv.ni_is_master ? master_at_node_[r]
                                                : slave_at_node_[r];
                 if (ni < 0) continue; // routed to a node without an NI: stuck
@@ -601,24 +625,30 @@ void XpipesNetwork::collect_router_moves(std::size_t r) {
                         : slaves_[static_cast<std::size_t>(ni)].rx.size();
                 if (rx_size >= ni_rx_cap) continue;
             } else {
-                const auto nbr = neighbor(static_cast<u16>(r), out);
-                if (!nbr) continue; // mesh edge: XY routing never does this
-                mv.dst_router = *nbr;
-                mv.dst_port = (out == kNorth)   ? kSouth
-                              : (out == kSouth) ? kNorth
-                              : (out == kEast)  ? kWest
-                                                : kEast;
-                if (routers_[*nbr].in[p][mv.dst_port].size() >= cfg_.fifo_depth)
+                const auto nbr = topo_->link(static_cast<u16>(r), out);
+                if (!nbr) continue; // dead port: routing never selects one
+                mv.dst_router = nbr->node;
+                mv.dst_port = nbr->port;
+                mv.dst_plane = dp;
+                const std::size_t dst_size =
+                    routers_[nbr->node].in[pidx(dp, mv.dst_port)].size();
+                if (dst_size >= cfg_.fifo_depth) continue;
+                // Bubble rule (irregular topologies only): a Head may only
+                // claim a link whose downstream FIFO keeps a free slot
+                // after the move, so a dependency cycle never fills
+                // completely (docs/topology.md — a heuristic, not a
+                // proof). Mesh and torus allocation are untouched —
+                // bubble_ is false there.
+                if (bubble_ && q.front().kind == Flit::Kind::Head &&
+                    dst_size + 2 > cfg_.fifo_depth)
                     continue;
             }
             moves_.push_back(mv);
             // Advance / release the wormhole binding bookkeeping now:
             // the move is committed.
             if (q.front().kind == Flit::Kind::Tail) {
-                rt.bound_in[p][out] = -1;
+                rt.bound_in[oi] = -1;
                 --rt.bound_count;
-            } else {
-                rt.bound_in[p][out] = src;
             }
         }
     }
@@ -724,7 +754,7 @@ void XpipesNetwork::eval_routers() {
     // Apply all moves.
     for (const Move& mv : moves_) {
         Router& src_rt = routers_[mv.router];
-        auto& q = src_rt.in[mv.plane][mv.in_port];
+        auto& q = src_rt.in[pidx(mv.plane, mv.in_port)];
         Flit flit = q.front();
         q.pop_front();
         --src_rt.occupancy;
@@ -734,7 +764,7 @@ void XpipesNetwork::eval_routers() {
             // port (the rest of the packet follows it into the void),
             // Tail closes it.
             --flits_active_;
-            PortFault& pf = src_rt.fault[mv.plane][mv.in_port];
+            PortFault& pf = src_rt.fault[pidx(mv.plane, mv.in_port)];
             pf.swallowing = (flit.kind != Flit::Kind::Tail);
             if (flit.kind == Flit::Kind::Head)
                 ++stats_.reliability.packets_dropped;
@@ -777,7 +807,9 @@ void XpipesNetwork::eval_routers() {
                 }
             }
         } else {
-            routers_[mv.dst_router].in[mv.plane][mv.dst_port].push_back(flit);
+            routers_[mv.dst_router]
+                .in[pidx(mv.dst_plane, mv.dst_port)]
+                .push_back(flit);
             ++routers_[mv.dst_router].occupancy;
         }
     }
@@ -807,8 +839,11 @@ void XpipesNetwork::eval() {
     for (MasterNi& ni : masters_) eval_master_ni(ni);
     for (SlaveNi& ni : slaves_) eval_slave_ni(ni);
     if (flits_active_ > 0) eval_routers();
-    for (MasterNi& ni : masters_) inject(ni.tx, ni.node, kLocalMaster, 0);
-    for (SlaveNi& ni : slaves_) inject(ni.tx, ni.node, kLocalSlave, 1);
+    // Injection starts on VC0 of the protocol plane (request plane index
+    // 0, response plane index vc_count_); with one VC these are the
+    // original planes 0 and 1.
+    for (MasterNi& ni : masters_) inject(ni.tx, ni.node, lm_port_, 0);
+    for (SlaveNi& ni : slaves_) inject(ni.tx, ni.node, ls_port_, vc_count_);
     if (any_activity_) ++stats_.busy_cycles;
 }
 

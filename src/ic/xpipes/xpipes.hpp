@@ -1,20 +1,27 @@
-// ×pipes-like packet-switched 2D-mesh NoC.
+// ×pipes-like packet-switched NoC over a pluggable topology.
 //
-// Behavioural cycle-true model of a wormhole-switched mesh:
+// Behavioural cycle-true model of a wormhole-switched fabric:
 //
 //   * network interfaces (NIs) packetize OCP transactions into flit streams
 //     (Head carrying {cmd, addr, burst, source}, one Payload flit per data
 //     beat, Tail) and reassemble them at the far end;
 //   * routers are input-buffered with per-output round-robin wormhole
-//     allocation, XY routing and one flit per link per cycle;
+//     allocation and one flit per link per cycle; the routing decision and
+//     the link adjacency come from an ic::Topology (docs/topology.md) — the
+//     default 2D mesh routes XY exactly as before the abstraction, and a
+//     torus or table-routed graph drops in without touching router code;
 //   * requests and responses travel on two separate buffer planes (virtual
-//     networks), which removes request/response protocol deadlock;
+//     networks), which removes request/response protocol deadlock; on
+//     topologies that ask for virtual channels (the torus's dateline VCs)
+//     each protocol plane is replicated per VC, which removes the routing
+//     deadlock its wrap links would otherwise introduce;
 //   * posted writes complete at the master NI once all beats are buffered —
 //     network delivery is decoupled, unlike the shared-bus model.
 //
-// Each mesh node hosts at most one master NI and one slave NI (router ports
-// LM and LS). The platform co-locates a core with its private memory and
-// places shared slaves on their own nodes.
+// Each node hosts at most one master NI and one slave NI (the two local
+// router ports after the topology's neighbour ports). The platform
+// co-locates a core with its private memory and places shared slaves on
+// their own nodes.
 //
 // The router phase is activity-driven: only routers holding flits (or a
 // wormhole binding) are visited each cycle, so per-cycle cost scales with
@@ -30,12 +37,14 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "ic/address_map.hpp"
 #include "ic/fault.hpp"
 #include "ic/interconnect.hpp"
+#include "ic/topo/topo.hpp"
 #include "stats/latency.hpp"
 #include "stats/reliability.hpp"
 
@@ -59,6 +68,16 @@ struct XpipesConfig {
     /// bit-identical to the pre-fault model: no serials, no checksums, no
     /// acks, posted writes stay posted.
     FaultConfig fault;
+    /// Fabric topology (docs/topology.md). Mesh (the default) preserves the
+    /// original XY-routed behaviour bit-for-bit; Torus adds wrap links with
+    /// minimal dimension-ordered routing; Table routes the graph below.
+    /// New members sit after `fault` so existing aggregate initializers
+    /// keep their meaning.
+    TopologyKind topology = TopologyKind::Mesh;
+    /// Adjacency for TopologyKind::Table (width/height are ignored there:
+    /// the node count comes from the graph). Shared and immutable, so sweep
+    /// workers reuse one parsed graph across the whole candidate grid.
+    std::shared_ptr<const GraphSpec> graph;
 };
 
 struct XpipesStats {
@@ -131,17 +150,21 @@ public:
     }
     [[nodiscard]] u64 busy_cycles() const override { return stats_.busy_cycles; }
     [[nodiscard]] u64 contention_cycles() const override;
-    [[nodiscard]] u32 node_count() const noexcept { return cfg_.width * cfg_.height; }
+    [[nodiscard]] u32 node_count() const noexcept { return topo_->node_count(); }
+    [[nodiscard]] const Topology& topology() const noexcept { return *topo_; }
 
 private:
-    // Router ports.
-    static constexpr int kNorth = 0;
-    static constexpr int kSouth = 1;
-    static constexpr int kEast = 2;
-    static constexpr int kWest = 3;
-    static constexpr int kLocalMaster = 4; ///< master NI side
-    static constexpr int kLocalSlave = 5;  ///< slave NI side
-    static constexpr int kNumPorts = 6;
+    // Router ports: [0, n_ports_ - 2) are the topology's neighbour links
+    // (N=0, S=1, E=2, W=3 on mesh/torus), then the two local NI ports
+    // lm_port_ (master side) and ls_port_ (slave side). For the mesh this
+    // is exactly the original fixed numbering (LM=4, LS=5, 6 ports), so
+    // allocation and round-robin order are bit-identical.
+    /// Protocol planes (virtual networks): requests and responses. The
+    /// buffer-plane count is n_planes_ = kNumPlanes * vc_count_ — each
+    /// protocol plane is replicated per topology virtual channel
+    /// (Topology::vcs(); 1 on mesh/table, 2 dateline VCs on the torus).
+    /// Plane index = protocol * vc_count_ + vc, so with one VC the plane
+    /// indices — and all behaviour — are bit-identical to pre-VC code.
     static constexpr int kNumPlanes = 2; ///< 0 = requests, 1 = responses
 
     struct FlitHeader {
@@ -193,16 +216,27 @@ private:
         bool blocked = false;            ///< port excluded from moves this cycle
     };
 
+    /// Per-router state, sized n_planes_ * n_ports_ at construction (the
+    /// port budget is a topology property now, not a compile-time array
+    /// bound); index with pidx(plane, port).
     struct Router {
-        std::deque<Flit> in[kNumPlanes][kNumPorts];
-        int bound_in[kNumPlanes][kNumPorts]; ///< wormhole binding per output
-        int rr[kNumPlanes][kNumPorts];       ///< round-robin pointer per output
+        std::vector<std::deque<Flit>> in;
+        /// Wormhole binding per *output channel* pidx(dst_plane, out): the
+        /// input slot pidx(plane, port) whose packet owns the channel from
+        /// Head to Tail, -1 when free. Keyed by the destination plane —
+        /// not the input's — so with dateline VCs a packet bound for
+        /// downstream VC0 never holds the switch against one bound for
+        /// VC1 of the same link (that coupling would re-create the ring
+        /// dependency cycle the datelines break), and each downstream
+        /// FIFO has a single writer per cycle by construction.
+        std::vector<int> bound_in;
+        std::vector<int> rr; ///< round-robin pointer per output channel
         /// Activity bookkeeping for the worklist: total flits across the
         /// input FIFOs and number of held wormhole bindings. The router is
         /// active — and must be on the worklist — iff either is nonzero.
         u32 occupancy = 0;
         u32 bound_count = 0;
-        PortFault fault[kNumPlanes][kNumPorts];
+        std::vector<PortFault> fault;
     };
 
     /// One response beat buffered at the master NI, with its error flag.
@@ -280,6 +314,10 @@ private:
         bool to_ni = false;
         std::size_t dst_router = 0;
         int dst_port = 0;
+        /// Destination buffer plane. Equal to `plane` except on topology
+        /// VC transitions (torus dateline crossings), where the flit moves
+        /// from a VC0 FIFO into the far side's VC1 FIFO.
+        int dst_plane = 0;
         int ni_index = 0;
         bool ni_is_master = false;
         /// Fault mode: discard the source flit instead of forwarding it
@@ -299,8 +337,16 @@ private:
         return f;
     }
 
+    /// Flat index into a Router's per-(plane, port) vectors.
+    [[nodiscard]] std::size_t pidx(int plane, int port) const noexcept {
+        return static_cast<std::size_t>(plane) *
+                   static_cast<std::size_t>(n_ports_) +
+               static_cast<std::size_t>(port);
+    }
+
+    /// Output port for `hdr` at `node`: the topology's next hop, or the
+    /// local ejection port (LM for responses, LS for requests) on arrival.
     [[nodiscard]] int route(u16 node, const FlitHeader& hdr) const noexcept;
-    [[nodiscard]] std::optional<std::size_t> neighbor(u16 node, int port) const noexcept;
 
     void eval_master_ni(MasterNi& ni);
     void eval_slave_ni(SlaveNi& ni);
@@ -330,6 +376,20 @@ private:
     void push_ack(SlaveNi& ni);
 
     XpipesConfig cfg_;
+    /// Routing + adjacency provider (docs/topology.md); fixed per network.
+    std::unique_ptr<Topology> topo_;
+    int n_ports_ = 6;  ///< neighbour ports + the two local NI ports
+    int lm_port_ = 4;  ///< local master-NI port (responses eject here)
+    int ls_port_ = 5;  ///< local slave-NI port (requests eject here)
+    int vc_count_ = 1; ///< topology VCs per protocol plane (Topology::vcs)
+    int n_planes_ = kNumPlanes; ///< buffer planes: kNumPlanes * vc_count_
+    /// Bubble allocation rule for irregular (table) topologies: a Head
+    /// flit only claims an inter-router link whose downstream FIFO keeps
+    /// >= 1 slot free after the move (docs/topology.md) — a documented
+    /// heuristic, not a deadlock-freedom proof. False on the mesh (whose
+    /// allocation thus stays bit-identical) and on the torus (which is
+    /// deadlock-free by dateline VCs instead).
+    bool bubble_ = false;
     FaultModel fault_model_;
     /// cfg_.fault.enabled(), cached: every fault hook is guarded on it so
     /// the zero-fault configuration takes none of the new paths.

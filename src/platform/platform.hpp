@@ -71,7 +71,7 @@ struct PlatformConfig {
     cpu::CacheConfig dcache{4, 64};
     cpu::CpuTiming cpu_timing{};
     /// Mesh dimensions for IcKind::Xpipes; 0 = choose automatically.
-    ic::XpipesConfig xpipes{0, 0, 4, true, false, {}};
+    ic::XpipesConfig xpipes{0, 0, 4, true, false, {}, ic::TopologyKind::Mesh, {}};
     bool collect_traces = false;
     /// Per-component clock gating in the kernel (sim/kernel.hpp). On by
     /// default; disable for the legacy every-component-every-cycle schedule.

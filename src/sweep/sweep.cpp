@@ -117,18 +117,35 @@ std::string describe_fabric(const platform::PlatformConfig& cfg) {
         case platform::IcKind::Crossbar:
             return "crossbar";
         case platform::IcKind::Xpipes: {
+            // Mesh strings are byte-identical to the pre-topology format so
+            // existing campaign identities (SweepMeta.app, journals) keep
+            // matching; non-mesh topologies fold their shape — and for
+            // table graphs the graph's source label — into the name, which
+            // is what makes shard/merge/resume refuse mixed-topology runs.
+            std::string s;
             char buf[96];
-            if (cfg.xpipes.width == 0 || cfg.xpipes.height == 0)
-                std::snprintf(buf, sizeof buf, "xpipes auto fifo%u",
+            if (cfg.xpipes.topology == ic::TopologyKind::Table) {
+                s = "xpipes graph:";
+                s += cfg.xpipes.graph ? cfg.xpipes.graph->source : "?";
+                std::snprintf(buf, sizeof buf, " fifo%u",
                               cfg.xpipes.fifo_depth);
-            else
-                std::snprintf(buf, sizeof buf, "xpipes %ux%u fifo%u",
-                              cfg.xpipes.width, cfg.xpipes.height,
-                              cfg.xpipes.fifo_depth);
+                s += buf;
+            } else {
+                const char* const shape =
+                    cfg.xpipes.topology == ic::TopologyKind::Torus ? "torus "
+                                                                   : "";
+                if (cfg.xpipes.width == 0 || cfg.xpipes.height == 0)
+                    std::snprintf(buf, sizeof buf, "xpipes %sauto fifo%u",
+                                  shape, cfg.xpipes.fifo_depth);
+                else
+                    std::snprintf(buf, sizeof buf, "xpipes %s%ux%u fifo%u",
+                                  shape, cfg.xpipes.width, cfg.xpipes.height,
+                                  cfg.xpipes.fifo_depth);
+                s = buf;
+            }
             // Fault-enabled candidates are distinct design points; the
             // zero-fault string is byte-identical to the pre-fault format.
             if (cfg.xpipes.fault.enabled()) {
-                std::string s{buf};
                 char fb[96];
                 std::snprintf(fb, sizeof fb,
                               " fault c%.4g d%.4g s%.4g seed%llu",
@@ -137,9 +154,9 @@ std::string describe_fabric(const platform::PlatformConfig& cfg) {
                               cfg.xpipes.fault.stall_rate,
                               static_cast<unsigned long long>(
                                   cfg.xpipes.fault.seed));
-                return s + fb;
+                s += fb;
             }
-            return buf;
+            return s;
         }
     }
     return "?";

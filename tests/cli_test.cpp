@@ -120,14 +120,59 @@ TEST(CliShardDeath, BadSpecsAreFatalNotDefaulted) {
 }
 
 TEST(CliTierDeath, BadValuesAreFatalNotDefaulted) {
+    // get_enum diagnostics list every valid choice, so a typo is
+    // self-correcting from the error message alone.
     EXPECT_EXIT((void)cli::get_tier(make_args({"--tier=fast"})),
-                testing::ExitedWithCode(1), "--tier: unknown tier 'fast'");
+                testing::ExitedWithCode(1),
+                "--tier: unknown value 'fast' \\(valid: cycle, analytic, "
+                "funnel\\)");
     EXPECT_EXIT((void)cli::get_tier(make_args({"--tier="})),
-                testing::ExitedWithCode(1), "--tier: unknown tier");
+                testing::ExitedWithCode(1), "--tier: unknown value");
     EXPECT_EXIT((void)cli::get_funnel_top(make_args({"--funnel-top=0"})),
                 testing::ExitedWithCode(1), "--funnel-top: must be nonzero");
     EXPECT_EXIT((void)cli::get_funnel_top(make_args({"--funnel-top=many"})),
                 testing::ExitedWithCode(1), "--funnel-top: invalid number");
+}
+
+TEST(CliTopology, ParsesKindsAndDefault) {
+    const auto def = cli::get_topologies(make_args({}));
+    ASSERT_EQ(def.size(), 1u);
+    EXPECT_EQ(def[0].kind, ic::TopologyKind::Mesh);
+    EXPECT_EQ(def[0].graph, nullptr);
+    const auto axis =
+        cli::get_topologies(make_args({"--topology=mesh,torus"}));
+    ASSERT_EQ(axis.size(), 2u);
+    EXPECT_EQ(axis[0].kind, ic::TopologyKind::Mesh);
+    EXPECT_EQ(axis[1].kind, ic::TopologyKind::Torus);
+}
+
+TEST(CliTopologyDeath, BadValuesAreFatalNotDefaulted) {
+    EXPECT_EXIT((void)cli::get_topologies(make_args({"--topology=ring"})),
+                testing::ExitedWithCode(1),
+                "--topology: unknown value 'ring' \\(valid: mesh, torus, "
+                "file:PATH\\)");
+    EXPECT_EXIT((void)cli::get_topologies(make_args({"--topology=file:"})),
+                testing::ExitedWithCode(1), "--topology: empty graph path");
+    EXPECT_EXIT((void)cli::get_topologies(make_args({"--topology="})),
+                testing::ExitedWithCode(1), "--topology is empty");
+}
+
+TEST(CliCapacityDeath, TooSmallFabricIsAParseTimeError) {
+    // 16 cores need 18 nodes (cores + shared memory + semaphores): a 4x4
+    // --mesh paired with a 4x4 --grid used to be accepted here and fail
+    // only mid-sweep.
+    ic::XpipesConfig mesh;
+    mesh.width = 4;
+    mesh.height = 4;
+    EXPECT_EXIT(cli::check_fabric_capacity(mesh, 16, "--mesh"),
+                testing::ExitedWithCode(1),
+                "--mesh: 16 node\\(s\\) cannot host the 16-core grid plus 2 "
+                "shared slaves \\(need >= 18 nodes\\)");
+    mesh.height = 5; // 20 nodes: fits
+    cli::check_fabric_capacity(mesh, 16, "--mesh");
+    mesh.width = 0; // auto-sized: always fits
+    mesh.height = 0;
+    cli::check_fabric_capacity(mesh, 16, "--mesh");
 }
 
 } // namespace

@@ -139,6 +139,106 @@ TEST(PatternConfigs, RateMapsOntoArrivalProcess) {
     EXPECT_EQ(cfgs[0].inter_gap, 153u);
 }
 
+TEST(PatternDest, NonSquareGrids) {
+    // 4x2: bit complement is (x, y) -> (3-x, 1-y).
+    EXPECT_EQ(pattern_dest(Pattern::BitComplement, 0, 4, 2), 7u);
+    EXPECT_EQ(pattern_dest(Pattern::BitComplement, 7, 4, 2), 0u);
+    EXPECT_EQ(pattern_dest(Pattern::BitComplement, 1, 4, 2), 6u);
+    // Tornado on 4x2 moves ceil(4/2)-1 = 1 east and ceil(2/2)-1 = 0 south.
+    EXPECT_EQ(pattern_dest(Pattern::Tornado, 0, 4, 2), 1u);
+    EXPECT_EQ(pattern_dest(Pattern::Tornado, 3, 4, 2), 0u); // (3,0)->(0,0)
+    EXPECT_EQ(pattern_dest(Pattern::Tornado, 4, 4, 2), 5u); // (0,1)->(1,1)
+    // 8x4: 3 east, 1 south.
+    EXPECT_EQ(pattern_dest(Pattern::Tornado, 0, 8, 4), 11u); // (0,0)->(3,1)
+    // Neighbor wraps within the row, whatever its length.
+    EXPECT_EQ(pattern_dest(Pattern::Neighbor, 3, 4, 2), 0u);
+    EXPECT_EQ(pattern_dest(Pattern::Neighbor, 7, 4, 2), 4u);
+    // Shuffle on 8 cores (4x2): rotate-left of the 3-bit node id.
+    EXPECT_EQ(pattern_dest(Pattern::Shuffle, 5, 4, 2), 3u); // 101 -> 011
+    EXPECT_EQ(pattern_dest(Pattern::Shuffle, 4, 4, 2), 1u); // 100 -> 001
+    EXPECT_EQ(pattern_dest(Pattern::Shuffle, 7, 4, 2), 7u);
+}
+
+TEST(PatternWeights, NonSquareDeterministicPatternsMatchDestFunction) {
+    // pattern_dest_weights is the destination matrix both tiers consume
+    // (docs/analytic.md): on every grid shape the deterministic patterns
+    // must yield exactly one unit-weight entry that agrees with
+    // pattern_dest, and uniform must fan out to everyone but self.
+    for (const auto& [w, h] :
+         {std::pair<u32, u32>{4, 2}, {8, 4}, {2, 4}, {3, 5}}) {
+        PatternConfig cfg;
+        cfg.width = w;
+        cfg.height = h;
+        for (const Pattern p : {Pattern::BitComplement, Pattern::Tornado,
+                                Pattern::Neighbor}) {
+            cfg.pattern = p;
+            for (u32 src = 0; src < w * h; ++src) {
+                const auto weights = pattern_dest_weights(cfg, src);
+                ASSERT_EQ(weights.size(), 1u)
+                    << w << "x" << h << " src " << src;
+                EXPECT_EQ(weights[0].dest, pattern_dest(p, src, w, h));
+                EXPECT_EQ(weights[0].weight, 1u);
+                EXPECT_LT(weights[0].dest, w * h);
+            }
+        }
+        cfg.pattern = Pattern::UniformRandom;
+        for (u32 src = 0; src < w * h; ++src) {
+            const auto weights = pattern_dest_weights(cfg, src);
+            ASSERT_EQ(weights.size(), w * h - 1);
+            for (const auto& dw : weights) {
+                EXPECT_NE(dw.dest, src);
+                EXPECT_EQ(dw.weight, 1u);
+            }
+        }
+    }
+}
+
+TEST(PatternValidate, NonSquareGridConstraints) {
+    PatternConfig cfg;
+    cfg.width = 4;
+    cfg.height = 2;
+    cfg.pattern = Pattern::Transpose;
+    EXPECT_THROW(validate(cfg), std::invalid_argument); // needs square
+    cfg.pattern = Pattern::Shuffle; // 8 cores: power of two, fine
+    EXPECT_NO_THROW(validate(cfg));
+    cfg.pattern = Pattern::BitComplement;
+    EXPECT_NO_THROW(validate(cfg));
+    cfg.width = 3; // 6 cores
+    cfg.pattern = Pattern::Shuffle;
+    EXPECT_THROW(validate(cfg), std::invalid_argument); // not a power of two
+    cfg.pattern = Pattern::Tornado;
+    EXPECT_NO_THROW(validate(cfg));
+}
+
+TEST(PatternCompile, NonSquareGridsCompileEveryCore) {
+    for (const auto& [w, h] : {std::pair<u32, u32>{4, 2}, {8, 4}}) {
+        PatternConfig cfg;
+        cfg.width = w;
+        cfg.height = h;
+        cfg.injection_rate = 0.05;
+        cfg.pattern = Pattern::Tornado;
+        const auto cfgs = make_pattern_configs(cfg);
+        ASSERT_EQ(cfgs.size(), std::size_t{w} * h);
+        for (u32 core = 0; core < w * h; ++core) {
+            ASSERT_FALSE(cfgs[core].targets.empty());
+            EXPECT_EQ(cfgs[core].total_transactions, cfg.packets_per_core);
+            // The single deterministic target lands on the destination
+            // core's private scratch window.
+            const u32 dest = pattern_dest(Pattern::Tornado, core, w, h);
+            EXPECT_EQ(cfgs[core].targets.front().base,
+                      platform::priv_base(dest) + platform::kPrivScratch);
+        }
+        cfg.pattern = Pattern::Hotspot;
+        cfg.hotspot_core = w * h - 1;
+        cfg.hotspot_fraction = 0.25;
+        const auto hot = make_pattern_configs(cfg);
+        ASSERT_EQ(hot.size(), std::size_t{w} * h);
+        for (u32 core = 0; core + 1 < w * h; ++core)
+            EXPECT_EQ(hot[core].targets.front().base,
+                      platform::priv_base(w * h - 1) + platform::kPrivScratch);
+    }
+}
+
 /// End-to-end sweep properties on a 2x2 transpose grid: every worker count
 /// produces bit-identical results (THE sweep invariant), latency samples
 /// are collected, and the accepted rate never exceeds the offered rate.

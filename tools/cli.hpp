@@ -7,10 +7,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <initializer_list>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/apps.hpp"
@@ -143,6 +146,43 @@ inline std::vector<std::string> split_list(const std::string& value) {
     return out;
 }
 
+/// Shared string→enum dispatch: maps a value through an explicit
+/// (token, value) table, or exits listing every valid choice. The tier,
+/// process and topology flags all route through here, so the tools cannot
+/// grow drifting hand-rolled parsers with inconsistent diagnostics.
+/// `extra_choices` names accepted forms beyond the table (e.g. the
+/// topology's "file:PATH", which carries a payload and cannot be a table
+/// entry).
+template <typename E>
+[[nodiscard]] inline E enum_from(
+    const std::string& what, const std::string& name,
+    std::initializer_list<std::pair<const char*, E>> choices,
+    const char* extra_choices = nullptr) {
+    for (const auto& choice : choices)
+        if (name == choice.first) return choice.second;
+    std::string valid;
+    for (const auto& choice : choices) {
+        if (!valid.empty()) valid += ", ";
+        valid += choice.first;
+    }
+    if (extra_choices != nullptr) {
+        valid += ", ";
+        valid += extra_choices;
+    }
+    std::fprintf(stderr, "%s: unknown value '%s' (valid: %s)\n", what.c_str(),
+                 name.c_str(), valid.c_str());
+    std::exit(1);
+}
+
+/// enum_from over a flag with a default, e.g.
+/// get_enum(args, "tier", "cycle", {{"cycle", Tier::Cycle}, ...}).
+template <typename E>
+[[nodiscard]] inline E get_enum(
+    const Args& args, const std::string& flag, const std::string& fallback,
+    std::initializer_list<std::pair<const char*, E>> choices) {
+    return enum_from("--" + flag, args.get(flag, fallback), choices);
+}
+
 /// Parses one mesh spec: "auto" (dimensions chosen by the platform) or
 /// "WxH", e.g. "3x3". Shared by tgsim_sweep (candidate grids) and
 /// tgsim_patterns (logical core grid — which rejects "auto" itself).
@@ -184,15 +224,10 @@ inline std::optional<double> parse_rate(const std::string& s) {
 ///   --funnel-top=K                 cycle-tier survivor budget (default 16)
 /// Bad values are fatal usage errors, never silent defaults.
 inline sweep::Tier get_tier(const Args& args) {
-    const std::string name = args.get("tier", "cycle");
-    const auto tier = sweep::parse_tier(name);
-    if (!tier) {
-        std::fprintf(stderr,
-                     "--tier: unknown tier '%s' (cycle, analytic, funnel)\n",
-                     name.c_str());
-        std::exit(1);
-    }
-    return *tier;
+    return get_enum<sweep::Tier>(args, "tier", "cycle",
+                                 {{"cycle", sweep::Tier::Cycle},
+                                  {"analytic", sweep::Tier::Analytic},
+                                  {"funnel", sweep::Tier::Funnel}});
 }
 
 inline u32 get_funnel_top(const Args& args) {
@@ -334,6 +369,87 @@ inline void write_text_file(const std::string& path, const std::string& text) {
         std::exit(1);
     }
     out << text;
+}
+
+/// One parsed --topology token (docs/topology.md):
+///   mesh       the XY-routed 2D mesh (default; campaign identities stay
+///              byte-compatible with pre-topology reports)
+///   torus      2D torus with wrap links and minimal XY routing
+///   file:PATH  table-routed graph in the docs/topology.md text format
+struct TopologyChoice {
+    ic::TopologyKind kind = ic::TopologyKind::Mesh;
+    std::shared_ptr<const ic::GraphSpec> graph; ///< engaged iff kind == Table
+};
+
+/// Parses one --topology token. The graph file is loaded and validated
+/// eagerly, so a malformed or disconnected graph is a fatal usage error
+/// before any simulation starts, and every sweep worker shares the single
+/// parsed spec.
+[[nodiscard]] inline TopologyChoice parse_topology_or_die(
+    const std::string& token, const std::string& what) {
+    TopologyChoice out;
+    if (token.rfind("file:", 0) == 0) {
+        const std::string path = token.substr(5);
+        if (path.empty()) {
+            std::fprintf(stderr, "%s: empty graph path in '%s'\n",
+                         what.c_str(), token.c_str());
+            std::exit(1);
+        }
+        std::string err;
+        auto spec = ic::parse_graph(read_text_file(path), path, &err);
+        if (!spec) {
+            std::fprintf(stderr, "%s: %s\n", what.c_str(), err.c_str());
+            std::exit(1);
+        }
+        out.kind = ic::TopologyKind::Table;
+        out.graph = std::make_shared<const ic::GraphSpec>(std::move(*spec));
+        return out;
+    }
+    out.kind = enum_from<ic::TopologyKind>(
+        what, token,
+        {{"mesh", ic::TopologyKind::Mesh},
+         {"torus", ic::TopologyKind::Torus}},
+        "file:PATH");
+    return out;
+}
+
+/// The --topology axis: a comma list for tgsim_sweep's candidate grid, a
+/// single value for tgsim_patterns. Default is the plain mesh.
+[[nodiscard]] inline std::vector<TopologyChoice> get_topologies(
+    const Args& args) {
+    std::vector<TopologyChoice> out;
+    for (const std::string& tok : split_list(args.get("topology", "mesh")))
+        out.push_back(parse_topology_or_die(tok, "--topology"));
+    if (out.empty()) {
+        std::fprintf(stderr, "--topology is empty\n");
+        std::exit(1);
+    }
+    return out;
+}
+
+/// Fatal parse-time capacity check: an explicit fabric must host n_cores
+/// cores plus the shared memory and semaphore bank
+/// (platform::xpipes_nodes_needed). A --mesh too small for the --grid used
+/// to surface only as a mid-sweep setup error — or a Platform throw after
+/// minutes of other candidates; now it fails in milliseconds with the
+/// numbers spelled out. Auto-sized meshes always fit and pass through.
+inline void check_fabric_capacity(const ic::XpipesConfig& fabric, u32 n_cores,
+                                  const std::string& what) {
+    u32 nodes = 0;
+    if (fabric.topology == ic::TopologyKind::Table) {
+        nodes = fabric.graph ? fabric.graph->nodes : 0;
+    } else {
+        if (fabric.width == 0 || fabric.height == 0) return; // auto-sized
+        nodes = fabric.width * fabric.height;
+    }
+    const u32 needed = platform::xpipes_nodes_needed(n_cores);
+    if (nodes < needed) {
+        std::fprintf(stderr,
+                     "%s: %u node(s) cannot host the %u-core grid plus 2 "
+                     "shared slaves (need >= %u nodes)\n",
+                     what.c_str(), nodes, n_cores, needed);
+        std::exit(1);
+    }
 }
 
 /// Parses repeated --poll=base:size:retry_cmp:value:idle specs, e.g.

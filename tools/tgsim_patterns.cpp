@@ -5,6 +5,7 @@
 //                  [--rates=0.005,0.01,...] [--process=uniform|poisson|bursty]
 //                  [--packets=N] [--reads=F] [--burst-frac=F] [--burst-len=N]
 //                  [--hotspot=CORE] [--hotspot-frac=F] [--fifo=N]
+//                  [--topology=mesh|torus|file:PATH]
 //                  [--fault-rate=R] [--fault-seed=N]
 //                  [--jobs=N] [--json=PATH] [--max-cycles=N]
 //
@@ -13,6 +14,10 @@
 // and the shared memory + semaphore bank on the extra row — so logical grid
 // coordinates equal physical mesh coordinates and the classic destination
 // functions (transpose, tornado, ...) stress exactly the links they name.
+// --topology picks the fabric the grid maps onto (docs/topology.md): the
+// default XY mesh, a torus with the same dimensions, or a table-routed
+// graph file (whose node count must host the cores plus the two shared
+// slaves).
 //
 // Each --rates point becomes one sweep candidate (sweep::make_rate_sweep)
 // evaluated by sweep::SweepDriver --jobs at a time; results are
@@ -60,15 +65,12 @@ int main(int argc, char** argv) {
     pc.pattern = *pattern;
     pc.width = mesh->width;
     pc.height = mesh->height;
-    pc.process = tg::ArrivalProcess::Poisson;
     const std::string process = args.get("process", "poisson");
-    if (process == "uniform") pc.process = tg::ArrivalProcess::Uniform;
-    else if (process == "bursty") pc.process = tg::ArrivalProcess::Bursty;
-    else if (process != "poisson") {
-        std::fprintf(stderr, "bad --process '%s' (uniform|poisson|bursty)\n",
-                     process.c_str());
-        return 1;
-    }
+    pc.process = cli::get_enum<tg::ArrivalProcess>(
+        args, "process", "poisson",
+        {{"poisson", tg::ArrivalProcess::Poisson},
+         {"uniform", tg::ArrivalProcess::Uniform},
+         {"bursty", tg::ArrivalProcess::Bursty}});
     pc.packets_per_core = args.get_u64("packets", 2000);
     pc.burst_len = static_cast<u16>(args.get_u32("burst-len", 4));
     pc.hotspot_core = args.get_u32("hotspot", 0);
@@ -118,10 +120,18 @@ int main(int argc, char** argv) {
     const u64 fault_seed = cli::get_fault_seed(args);
 
     const u32 n_cores = pc.width * pc.height;
+    const std::string topology_spec = args.get("topology", "mesh");
+    const cli::TopologyChoice topo =
+        cli::parse_topology_or_die(topology_spec, "--topology");
     platform::PlatformConfig base;
     base.ic = platform::IcKind::Xpipes;
     base.xpipes.width = pc.width;
     base.xpipes.height = platform::xpipes_height_for(n_cores, pc.width);
+    base.xpipes.topology = topo.kind;
+    base.xpipes.graph = topo.graph;
+    if (topo.kind == ic::TopologyKind::Table)
+        base.xpipes.width = base.xpipes.height = 0; // shape comes from the graph
+    cli::check_fabric_capacity(base.xpipes, n_cores, "--topology");
     base.xpipes.fifo_depth = fifo;
     base.xpipes.fault = cli::make_fault(fault_rate, fault_seed);
     const bool faults_on = base.xpipes.fault.enabled();
@@ -202,6 +212,11 @@ int main(int argc, char** argv) {
         if (!json.empty()) {
             sweep::SweepMeta meta;
             meta.app = context.name + " " + mesh_spec;
+            if (topo.kind != ic::TopologyKind::Mesh) {
+                // Topology is campaign identity (docs/topology.md); mesh
+                // runs keep the pre-topology app string byte-identical.
+                meta.app += " topo=" + topology_spec;
+            }
             if (faults_on) {
                 // The fault axis is campaign identity: reports that differ
                 // in it must never merge or resume into each other.

@@ -4,6 +4,7 @@
 //   tgsim-sweep --app=mp_matrix --cores=6 --size=24
 //               [--jobs=N] [--json=PATH] [--max-cycles=N]
 //               [--mesh=auto,8x1,3x3] [--fifo=2,4,8]
+//               [--topology=mesh,torus,file:PATH]
 //               [--no-fixed-prio] [--cpu-truth]
 //
 // Runs the reference simulation once (cycle-true cores on AMBA, traced),
@@ -19,11 +20,18 @@
 //
 //   tgsim-sweep --pattern=transpose [--grid=4x4] [--rates=0.01,0.02,...]
 //               [--mesh=...] [--fifo=...] [--packets=N]
+//               [--topology=mesh,torus,file:PATH]
 //               [--fault-rate=0,0.001,...] [--fault-seed=N]
 //               [--tier=cycle|analytic|funnel] [--funnel-top=K]
 //
-// The candidate grid is every --mesh × --fifo × --rates × --fault-rate
-// point (×pipes fabrics with latency collection). --fault-rate makes fault
+// The candidate grid is every --mesh × --topology × --fifo × --rates ×
+// --fault-rate point (×pipes fabrics with latency collection). --topology
+// makes the fabric topology a sweepable axis (docs/topology.md): torus
+// candidates are screened analytically like meshes, table-routed graphs
+// (file:PATH) are cycle-only and pass the funnel untouched; a table graph
+// fixes the fabric shape itself, so the --mesh axis collapses to one point
+// for it. Non-mesh topologies fold into the campaign identity, so shard
+// merges and journal resumes never mix topologies. --fault-rate makes fault
 // tolerance a sweepable axis (docs/faults.md): each nonzero entry enables
 // deterministic fault injection plus the NI recovery protocol, and those
 // rows carry the fault_* reliability columns. Fault-enabled candidates are
@@ -185,40 +193,65 @@ int run_pattern_mode(const cli::Args& args) {
     bool any_fault = false;
     for (const double fr : fault_rates) any_fault |= fr > 0.0;
 
-    // Fabric axes: every mesh shape × FIFO depth, latency-instrumented.
+    // Topology axis (docs/topology.md): graph files load and validate here,
+    // before any simulation, and all workers share the parsed spec.
+    const std::vector<cli::TopologyChoice> topologies =
+        cli::get_topologies(args);
+    bool any_topo = false;
+    for (const cli::TopologyChoice& t : topologies)
+        any_topo |= t.kind != ic::TopologyKind::Mesh;
+
+    // Fabric axes: every mesh shape × topology × FIFO depth,
+    // latency-instrumented.
     std::vector<sweep::Candidate> candidates;
+    const std::vector<std::string> meshes =
+        cli::split_list(args.get("mesh", "auto"));
     for (const std::string& f : cli::split_list(args.get("fifo", "4"))) {
         const u64 depth64 = cli::parse_u64(f).value_or(0);
         if (depth64 == 0 || depth64 > 0xFFFFFFFFull) {
             std::fprintf(stderr, "bad --fifo depth '%s'\n", f.c_str());
             return 1;
         }
-        for (const std::string& m :
-             cli::split_list(args.get("mesh", "auto"))) {
+        for (std::size_t mi = 0; mi < meshes.size(); ++mi) {
             const auto mesh =
-                cli::parse_mesh(m, static_cast<u32>(depth64));
+                cli::parse_mesh(meshes[mi], static_cast<u32>(depth64));
             if (!mesh) {
                 std::fprintf(stderr, "bad --mesh spec '%s' (auto|WxH)\n",
-                             m.c_str());
+                             meshes[mi].c_str());
                 return 1;
             }
-            for (const double rate : rates) {
-                for (const double frate : fault_rates) {
-                    sweep::Candidate c;
-                    c.cfg.ic = platform::IcKind::Xpipes;
-                    c.cfg.xpipes = *mesh;
-                    c.cfg.xpipes.collect_latency = true;
-                    c.cfg.xpipes.fault =
-                        cli::make_fault(frate, fault_seed);
-                    c.injection_rate = rate;
-                    // describe_fabric appends the fault axis itself when
-                    // it is enabled, so zero-fault names are unchanged.
-                    char buf[128];
-                    std::snprintf(buf, sizeof buf, "%s r=%.4f",
-                                  sweep::describe_fabric(c.cfg).c_str(),
-                                  rate);
-                    c.name = buf;
-                    candidates.push_back(std::move(c));
+            for (const cli::TopologyChoice& topo : topologies) {
+                // A table graph fixes the fabric shape itself: crossing it
+                // with every --mesh entry would only duplicate identical
+                // candidates, so the mesh axis collapses to one point.
+                if (topo.kind == ic::TopologyKind::Table && mi != 0)
+                    continue;
+                ic::XpipesConfig fabric = *mesh;
+                fabric.topology = topo.kind;
+                fabric.graph = topo.graph;
+                if (topo.kind == ic::TopologyKind::Table)
+                    fabric.width = fabric.height = 0;
+                cli::check_fabric_capacity(fabric, n_cores,
+                                           "--mesh/--topology");
+                for (const double rate : rates) {
+                    for (const double frate : fault_rates) {
+                        sweep::Candidate c;
+                        c.cfg.ic = platform::IcKind::Xpipes;
+                        c.cfg.xpipes = fabric;
+                        c.cfg.xpipes.collect_latency = true;
+                        c.cfg.xpipes.fault =
+                            cli::make_fault(frate, fault_seed);
+                        c.injection_rate = rate;
+                        // describe_fabric appends the fault axis itself
+                        // when it is enabled, so zero-fault names are
+                        // unchanged.
+                        char buf[128];
+                        std::snprintf(buf, sizeof buf, "%s r=%.4f",
+                                      sweep::describe_fabric(c.cfg).c_str(),
+                                      rate);
+                        c.name = buf;
+                        candidates.push_back(std::move(c));
+                    }
                 }
             }
         }
@@ -248,6 +281,12 @@ int run_pattern_mode(const cli::Args& args) {
             // resumes must never mix reports with different fault levels.
             meta.app += " fault=" + args.get("fault-rate", "0") + "@" +
                         std::to_string(fault_seed);
+        }
+        if (any_topo) {
+            // The topology axis is campaign identity too: a torus or
+            // table-graph campaign must never merge or resume into a mesh
+            // one (pure-mesh runs keep the pre-topology app string).
+            meta.app += " topo=" + args.get("topology", "mesh");
         }
         meta.n_cores = n_cores;
         meta.jobs = jobs;
@@ -357,6 +396,12 @@ int main(int argc, char** argv) {
     // flag typo fails in milliseconds, not after minutes of simulation) ---
     sweep::GridSpec grid;
     grid.amba_fixed_priority = !args.has("no-fixed-prio");
+    const u32 n_cores = static_cast<u32>(workload->cores.size());
+    const std::vector<cli::TopologyChoice> topologies =
+        cli::get_topologies(args);
+    bool any_topo = false;
+    for (const cli::TopologyChoice& t : topologies)
+        any_topo |= t.kind != ic::TopologyKind::Mesh;
     std::vector<std::string> meshes =
         cli::split_list(args.get("mesh", "auto,8x1,3x3"));
     std::vector<std::string> fifos = cli::split_list(args.get("fifo", "4"));
@@ -367,14 +412,27 @@ int main(int argc, char** argv) {
             return 1;
         }
         const u32 depth = static_cast<u32>(depth64);
-        for (const std::string& m : meshes) {
-            const auto mesh = cli::parse_mesh(m, depth);
+        for (std::size_t mi = 0; mi < meshes.size(); ++mi) {
+            const auto mesh = cli::parse_mesh(meshes[mi], depth);
             if (!mesh) {
                 std::fprintf(stderr, "bad --mesh spec '%s' (auto|WxH)\n",
-                             m.c_str());
+                             meshes[mi].c_str());
                 return 1;
             }
-            grid.meshes.push_back(*mesh);
+            for (const cli::TopologyChoice& topo : topologies) {
+                // Same collapse rule as pattern mode: a table graph fixes
+                // the fabric shape, so the mesh axis contributes one point.
+                if (topo.kind == ic::TopologyKind::Table && mi != 0)
+                    continue;
+                ic::XpipesConfig fabric = *mesh;
+                fabric.topology = topo.kind;
+                fabric.graph = topo.graph;
+                if (topo.kind == ic::TopologyKind::Table)
+                    fabric.width = fabric.height = 0;
+                cli::check_fabric_capacity(fabric, n_cores,
+                                           "--mesh/--topology");
+                grid.meshes.push_back(fabric);
+            }
         }
     }
     const std::vector<sweep::Candidate> candidates = sweep::make_grid(grid);
@@ -393,6 +451,11 @@ int main(int argc, char** argv) {
     // expensive reference run so a stale journal fails in milliseconds.
     sweep::SweepMeta meta;
     meta.app = app;
+    if (any_topo) {
+        // Topology is campaign identity (same contract as pattern mode):
+        // pure-mesh runs keep the pre-topology app string byte-identical.
+        meta.app += " topo=" + args.get("topology", "mesh");
+    }
     meta.n_cores = static_cast<u32>(workload->cores.size());
     meta.jobs = jobs;
     meta.max_cycles = max_cycles;
