@@ -39,7 +39,7 @@ struct PatternRun {
 };
 
 PatternRun run_pattern(tg::Pattern pattern, const std::vector<double>& rates,
-                       u64 packets) {
+                       u64 packets, const tg::SourceConfig& source) {
     tg::PatternConfig pc;
     pc.pattern = pattern;
     pc.width = 4;
@@ -53,12 +53,16 @@ PatternRun run_pattern(tg::Pattern pattern, const std::vector<double>& rates,
     base.xpipes.width = pc.width;
     base.xpipes.height =
         platform::xpipes_height_for(pc.width * pc.height, pc.width);
+    // Open-loop curves need in-network queueing headroom to show the
+    // hockey stick: with the default depth the pending queue absorbs most
+    // of the post-knee wait and the in-network share stays flat-ish.
+    if (source.open()) base.xpipes.fifo_depth = 8;
 
     apps::Workload context;
     context.name = std::string{tg::to_string(pattern)};
 
     const sweep::SweepDriver driver{pc, context};
-    const auto candidates = sweep::make_rate_sweep(base, rates);
+    const auto candidates = sweep::make_rate_sweep(base, rates, source);
 
     PatternRun run;
     run.pattern = pattern;
@@ -160,7 +164,8 @@ int main() {
     for (const tg::Pattern pattern :
          {tg::Pattern::Transpose, tg::Pattern::UniformRandom}) {
         const std::string name{tg::to_string(pattern)};
-        const PatternRun run = run_pattern(pattern, rates, packets);
+        const PatternRun run =
+            run_pattern(pattern, rates, packets, tg::SourceConfig{});
         all_ok = all_ok && run.identical && check_monotone(run, name.c_str());
 
         std::printf("%s:\n%-12s %10s %10s %9s %8s %8s\n", name.c_str(),
@@ -200,6 +205,83 @@ int main() {
              {"wall_seconds_jobs1", run.wall_1job},
              {"wall_seconds_jobs4", run.wall_4job},
              {"identical", run.identical ? 1.0 : 0.0}});
+
+        // Open-loop variant of the same ladder (docs/traffic.md): offered
+        // load keeps arriving regardless of completions, so the NETWORK
+        // saturates and the in-network latency curve shows the classic
+        // hockey stick. The committed floors gate the knee ratio (post-knee
+        // vs zero-load in-network latency) and the saturation gain over the
+        // closed-loop plateau — the headline payoff of open sources.
+        tg::SourceConfig open_src;
+        open_src.mode = tg::SourceMode::Open;
+        const PatternRun open_run =
+            run_pattern(pattern, rates, packets, open_src);
+        const std::string open_name = "open_" + name;
+        all_ok = all_ok && open_run.identical &&
+                 check_monotone(open_run, open_name.c_str());
+
+        std::printf("%s:\n%-12s %10s %10s %9s %8s %9s %9s\n",
+                    open_name.c_str(), "candidate", "offered", "accepted",
+                    "net mean", "net p50", "srcq mean", "pend pk");
+        for (const sweep::SweepResult& r : open_run.results) {
+            if (!r.has_open || r.net_lat_count == 0) {
+                std::fprintf(stderr,
+                             "FATAL: %s '%s' has no open-loop latency "
+                             "split\n",
+                             open_name.c_str(), r.name.c_str());
+                return 1;
+            }
+            std::printf("%-12s %10.4f %10.4f %9.1f %8llu %9.1f %9llu\n",
+                        r.name.c_str(), r.offered_rate, r.accepted_rate,
+                        r.net_lat_mean,
+                        static_cast<unsigned long long>(r.net_lat_p50),
+                        r.sq_lat_mean,
+                        static_cast<unsigned long long>(r.pending_peak));
+            report.add_row(
+                open_name + "_" + r.name,
+                {{"offered_rate", r.offered_rate},
+                 {"accepted_rate", r.accepted_rate},
+                 {"net_lat_mean", r.net_lat_mean},
+                 {"net_lat_p50", static_cast<double>(r.net_lat_p50)},
+                 {"net_lat_p99", static_cast<double>(r.net_lat_p99)},
+                 {"sq_lat_mean", r.sq_lat_mean},
+                 {"pending_peak", static_cast<double>(r.pending_peak)},
+                 {"cycles", static_cast<double>(r.cycles)},
+                 {"identical", open_run.identical ? 1.0 : 0.0}});
+        }
+        const sweep::SweepResult& zero = open_run.results.front();
+        const sweep::SweepResult& knee = open_run.results.back();
+        const double ratio_p50 =
+            zero.net_lat_p50 > 0
+                ? static_cast<double>(knee.net_lat_p50) /
+                      static_cast<double>(zero.net_lat_p50)
+                : 0.0;
+        const double ratio_mean =
+            zero.net_lat_mean > 0.0 ? knee.net_lat_mean / zero.net_lat_mean
+                                    : 0.0;
+        const double sat_gain =
+            run.sat.throughput > 0.0
+                ? open_run.sat.throughput / run.sat.throughput
+                : 0.0;
+        if (open_run.sat.found)
+            std::printf("  saturation at offered %.4f: throughput %.4f "
+                        "(%.1fx closed plateau); knee p50 ratio %.2f\n\n",
+                        open_run.sat.offered, open_run.sat.throughput,
+                        sat_gain, ratio_p50);
+        else
+            std::printf("  no saturation in range; max accepted %.4f\n\n",
+                        open_run.sat.throughput);
+        report.add_row(
+            "summary_" + open_name,
+            {{"saturation_found", open_run.sat.found ? 1.0 : 0.0},
+             {"saturation_throughput", open_run.sat.throughput},
+             {"saturation_offered", open_run.sat.offered},
+             {"hockey_ratio_p50", ratio_p50},
+             {"hockey_ratio_mean", ratio_mean},
+             {"sat_gain_vs_closed", sat_gain},
+             {"wall_seconds_jobs1", open_run.wall_1job},
+             {"wall_seconds_jobs4", open_run.wall_4job},
+             {"identical", open_run.identical ? 1.0 : 0.0}});
     }
 
     if (!all_ok) {

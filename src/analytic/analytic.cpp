@@ -242,7 +242,17 @@ sweep::SweepResult Evaluator::evaluate(const sweep::Candidate& cand,
                            "slaves (node out of range)");
 
     const double rate =
-        cand.injection_rate > 0.0 ? cand.injection_rate : pattern_.injection_rate;
+        cand.source.rate > 0.0
+            ? cand.source.rate
+            : (cand.injection_rate > 0.0 ? cand.injection_rate
+                                         : pattern_.injection_rate);
+    // Open-loop sources sit inside the model's validity envelope only up to
+    // the saturation bound: below it the offered rate IS the carried rate,
+    // so the closed-loop fixed point is bypassed entirely; above it the
+    // pending queue grows without bound and the M/D/1 delay terms have no
+    // steady state — the prediction pins at the saturation cap and the
+    // cycle tier owns the divergent region (docs/analytic.md).
+    const bool open = cand.source.open();
 
     sweep::SweepResult r;
     r.name = cand.name;
@@ -320,6 +330,11 @@ sweep::SweepResult Evaluator::evaluate(const sweep::Candidate& cand,
             read_fraction_ > 0.0
                 ? ws.mean_dist + (2.0 + mean_beats_) + wait_resp_mean
                 : 0.0;
+        // Open loop: the source never throttles, so the carried rate stays
+        // pinned at min(offered, saturation) — the latencies above are
+        // already evaluated at that utilisation and no fixed point exists
+        // to iterate.
+        if (open) break;
         // Closed-loop source service: writes are posted (complete once the
         // NI absorbed the beats); reads block for the whole round trip.
         const double s_read =

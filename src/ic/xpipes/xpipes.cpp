@@ -41,6 +41,20 @@ XpipesNetwork::XpipesNetwork(XpipesConfig cfg)
     moves_.reserve(16);
 }
 
+void XpipesNetwork::configure_open_source(u32 max_outstanding,
+                                          u32 pending_limit) {
+    if (pending_limit == 0)
+        throw std::invalid_argument{
+            "XpipesNetwork: open-loop pending_limit must be >= 1"};
+    if (fault_on_)
+        throw std::invalid_argument{
+            "XpipesNetwork: open-loop sources cannot combine with fault "
+            "injection"};
+    open_ = true;
+    open_max_out_ = max_outstanding;
+    open_pending_limit_ = pending_limit;
+}
+
 std::size_t XpipesNetwork::connect_master(ocp::ChannelRef ch, int node) {
     if (node < 0 || static_cast<u32>(node) >= node_count())
         throw std::invalid_argument{"XpipesNetwork: master node out of range"};
@@ -86,6 +100,12 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
     switch (ni.st) {
         case MasterNi::St::Idle: {
             if (ch.m_cmd() == ocp::Cmd::Idle) break;
+            if (open_) {
+                // Open-loop source: accept at the offered rate into the
+                // pending queue; injection is decoupled (drained below).
+                open_accept(ni);
+                break;
+            }
             if (!ni.tx.empty()) { // still draining the previous packet
                 stats_.master_wait_cycles[static_cast<std::size_t>(
                     &ni - masters_.data())] += 1;
@@ -125,7 +145,9 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
             head.hdr.dest_node = slave_node_[*slave_idx];
             head.hdr.is_resp = false;
             head.hdr.inject = now_;
+            head.hdr.created = now_; // closed loop: creation == injection
             ni.inject = now_;
+            ni.created = now_;
             if (fault_on_) {
                 // The transaction enters the fault domain: retain the
                 // packet for replay, arm the retry timer, open the
@@ -163,7 +185,7 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
                 ++flits_active_;
                 ni.beats = 1;
                 if (ni.beats == ni.burst) {
-                    Flit tail = make_tail(ni.inject);
+                    Flit tail = make_tail(ni.created, ni.inject);
                     if (fault_on_) {
                         tail.serial = next_serial_++;
                         tail.payload = ni.tx_csum;
@@ -177,7 +199,7 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
                     ni.st = MasterNi::St::CollectWrite;
                 }
             } else {
-                Flit tail = make_tail(ni.inject);
+                Flit tail = make_tail(ni.created, ni.inject);
                 if (fault_on_) {
                     tail.serial = next_serial_++;
                     tail.payload = ni.tx_csum;
@@ -202,20 +224,29 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
                     ni.tx_csum = csum_step(ni.tx_csum, beat.payload);
                     ni.pkt_copy.push_back(beat);
                 }
-                ni.tx.push_back(beat);
-                ++flits_active_;
+                if (open_) {
+                    ni.pending.push_back(beat);
+                } else {
+                    ni.tx.push_back(beat);
+                    ++flits_active_;
+                }
             }
             ++ni.beats;
             if (ni.beats == ni.burst) {
                 if (!ni.err) {
-                    Flit tail = make_tail(ni.inject);
+                    Flit tail = make_tail(ni.created, ni.inject);
                     if (fault_on_) {
                         tail.serial = next_serial_++;
                         tail.payload = ni.tx_csum;
                         ni.pkt_copy.push_back(tail);
                     }
-                    ni.tx.push_back(tail);
-                    ++flits_active_;
+                    if (open_) {
+                        ni.pending.push_back(tail);
+                        open_seal_packet(ni);
+                    } else {
+                        ni.tx.push_back(tail);
+                        ++flits_active_;
+                    }
                 }
                 ni.st = (fault_on_ && !ni.err) ? MasterNi::St::AwaitAck
                                                : MasterNi::St::Idle;
@@ -259,6 +290,114 @@ void XpipesNetwork::eval_master_ni(MasterNi& ni) {
                 retry_or_give_up(ni);
             break;
         }
+    }
+    // Open-loop drain runs after acceptance, so a packet sealed this cycle
+    // with an idle tx enters the network this cycle (zero source-queueing
+    // latency at zero load, matching closed-loop timing).
+    if (open_) open_drain_pending(ni);
+}
+
+void XpipesNetwork::open_accept(MasterNi& ni) {
+    const ocp::ChannelRef ch = ni.ch;
+    if (ni.pending_tails >= open_pending_limit_) {
+        // Pending queue full: stall the source — the only backpressure an
+        // open-loop source ever sees (docs/traffic.md).
+        stats_.master_wait_cycles[static_cast<std::size_t>(
+            &ni - masters_.data())] += 1;
+        return;
+    }
+    ni.cmd = ch.m_cmd();
+    ni.burst = ocp::is_burst(ni.cmd)
+                   ? std::max<u16>(1, std::min<u16>(ch.m_burst(), ocp::kMaxBurstLen))
+                   : u16{1};
+    ni.beats = 0;
+    const auto slave_idx = map_.decode(ch.m_addr());
+    ni.err = !slave_idx;
+    any_activity_ = true;
+    ch.s_cmd_accept() = true;
+    ch.touch_s();
+    if (ni.err) {
+        ++stats_.decode_errors;
+        // Open-loop masters never wait for read data, so there is nothing
+        // to synthesize; a decode-error write still has its remaining
+        // beats collected (and discarded) by CollectWrite.
+        if (ocp::is_write(ni.cmd)) {
+            ni.beats = 1;
+            ni.st = (ni.beats == ni.burst) ? MasterNi::St::Idle
+                                           : MasterNi::St::CollectWrite;
+        }
+        return;
+    }
+    Flit head;
+    head.kind = Flit::Kind::Head;
+    head.hdr.cmd = ni.cmd;
+    head.hdr.addr = ch.m_addr();
+    head.hdr.burst = ni.burst;
+    head.hdr.src_node = ni.node;
+    head.hdr.dest_node = slave_node_[*slave_idx];
+    head.hdr.is_resp = false;
+    head.hdr.created = now_;
+    head.hdr.inject = now_; // provisional: restamped when the packet drains
+    ni.created = now_;
+    ni.inject = now_;
+    ni.pending.push_back(head);
+    ++stats_.packets_sent;
+    if (ocp::is_write(ni.cmd)) {
+        Flit beat;
+        beat.kind = Flit::Kind::Payload;
+        beat.payload = ch.m_data();
+        ni.pending.push_back(beat);
+        ni.beats = 1;
+        if (ni.beats == ni.burst) {
+            ni.pending.push_back(make_tail(ni.created, ni.inject));
+            open_seal_packet(ni);
+        } else {
+            ni.st = MasterNi::St::CollectWrite;
+        }
+    } else {
+        // Reads queue Head + Tail and the NI stays Idle: the response is
+        // absorbed at delivery, never replayed over OCP.
+        ni.pending.push_back(make_tail(ni.created, ni.inject));
+        open_seal_packet(ni);
+    }
+}
+
+void XpipesNetwork::open_seal_packet(MasterNi& ni) {
+    ++ni.pending_tails;
+    ++open_backlog_;
+    if (ni.pending_tails > stats_.pending_peak)
+        stats_.pending_peak = ni.pending_tails;
+}
+
+void XpipesNetwork::open_drain_pending(MasterNi& ni) {
+    if (ni.pending_tails == 0 || !ni.tx.empty()) return;
+    if (open_max_out_ > 0 && ni.outstanding >= open_max_out_) return;
+    // Hand the oldest complete packet to tx; its in-network life starts
+    // now, so restamp inject on the stamp-carrying flits (Head and Tail).
+    const bool read = ocp::is_read(ni.pending.front().hdr.cmd);
+    for (;;) {
+        Flit f = ni.pending.front();
+        ni.pending.pop_front();
+        if (f.kind != Flit::Kind::Payload) f.hdr.inject = now_;
+        const bool was_tail = f.kind == Flit::Kind::Tail;
+        ni.tx.push_back(f);
+        ++flits_active_;
+        if (was_tail) break;
+    }
+    --ni.pending_tails;
+    --open_backlog_;
+    if (read) ++ni.outstanding;
+    any_activity_ = true;
+}
+
+void XpipesNetwork::record_delivery(const Flit& tail) {
+    stats_.packet_latency.record(now_ - tail.hdr.created);
+    if (open_) {
+        // Per-packet decomposition, recorded back-to-back so sample i in
+        // each series refers to the same packet and
+        // source_q + net == end-to-end holds exactly in integer cycles.
+        stats_.net_latency.record(now_ - tail.hdr.inject);
+        stats_.source_q_latency.record(tail.hdr.inject - tail.hdr.created);
     }
 }
 
@@ -389,7 +528,10 @@ void XpipesNetwork::eval_slave_ni(SlaveNi& ni) {
                 // Response packets are measured per packet: restamp with
                 // their own creation cycle (the request's delivery sample
                 // was already taken when its Tail reached this NI).
+                // Responses never queue at a source, so created == inject
+                // and their source-queueing latency is 0 in open mode.
                 ni.hdr.inject = now_;
+                ni.hdr.created = now_;
                 ni.resp_err = false;
                 Flit head;
                 head.kind = Flit::Kind::Head;
@@ -424,7 +566,7 @@ void XpipesNetwork::eval_slave_ni(SlaveNi& ni) {
                 // The tail summarises the packet: err marks an Err-carrying
                 // response (kept out of the latency percentiles at the far
                 // NI), payload carries the checksum in fault mode.
-                Flit tail = make_tail(ni.hdr.inject);
+                Flit tail = make_tail(ni.hdr.created, ni.hdr.inject);
                 tail.err = ni.resp_err;
                 if (fault_on_) {
                     tail.serial = next_serial_++;
@@ -454,7 +596,7 @@ void XpipesNetwork::push_ack(SlaveNi& ni) {
     ni.tx.push_back(head);
     ++flits_active_;
     ++stats_.packets_sent;
-    Flit tail = make_tail(now_);
+    Flit tail = make_tail(now_, now_);
     tail.serial = next_serial_++;
     tail.payload = csum_init(); // checksum over zero payload beats
     ni.tx.push_back(tail);
@@ -701,7 +843,7 @@ void XpipesNetwork::deliver_to_master(MasterNi& ni, const Flit& flit) {
             ni.cur_err = flit.err;
             if (flit.err) ++stats_.resp_err_packets;
             else if (cfg_.collect_latency)
-                stats_.packet_latency.record(now_ - flit.hdr.inject);
+                record_delivery(flit);
             break;
         }
     }
@@ -731,7 +873,7 @@ void XpipesNetwork::deliver_to_slave(SlaveNi& ni, const Flit& flit) {
             ++ni.tails_in_rx;
             ++stats_.req_packets_delivered;
             if (cfg_.collect_latency)
-                stats_.packet_latency.record(now_ - flit.hdr.inject);
+                record_delivery(flit);
             break;
     }
 }
@@ -782,15 +924,22 @@ void XpipesNetwork::eval_routers() {
                 if (fault_on_) {
                     deliver_to_master(ni, flit);
                 } else if (flit.kind == Flit::Kind::Payload) {
-                    ni.rx.push_back(RxBeat{flit.payload, flit.err});
+                    // Open-loop NIs absorb response data: the transaction
+                    // completed at the source when the fabric accepted it,
+                    // so rx stays empty and ejection never backpressures.
+                    if (!open_) ni.rx.push_back(RxBeat{flit.payload, flit.err});
                 } else if (flit.kind == Flit::Kind::Tail) {
                     ++stats_.resp_packets_delivered;
+                    if (open_) {
+                        if (ni.outstanding > 0) --ni.outstanding;
+                        stats_.last_delivery = now_;
+                    }
                     // Err-carrying responses are counted, not sampled: an
                     // error turnaround is not a service time and would
                     // skew p50/p99 (docs/traffic.md).
                     if (flit.err) ++stats_.resp_err_packets;
                     else if (cfg_.collect_latency)
-                        stats_.packet_latency.record(now_ - flit.hdr.inject);
+                        record_delivery(flit);
                 }
             } else {
                 SlaveNi& ni = slaves_[static_cast<std::size_t>(mv.ni_index)];
@@ -801,8 +950,9 @@ void XpipesNetwork::eval_routers() {
                     if (flit.kind == Flit::Kind::Tail) {
                         ++ni.tails_in_rx;
                         ++stats_.req_packets_delivered;
+                        if (open_) stats_.last_delivery = now_;
                         if (cfg_.collect_latency)
-                            stats_.packet_latency.record(now_ - flit.hdr.inject);
+                            record_delivery(flit);
                     }
                 }
             }

@@ -111,6 +111,24 @@ struct XpipesStats {
     /// Fault-injection and recovery accounting; only advances when
     /// XpipesConfig::fault is enabled (docs/faults.md).
     stats::ReliabilityStats reliability;
+
+    // --- open-loop source instrumentation (docs/traffic.md); only
+    // populated after configure_open_source() ---
+    /// In-network latency: tx injection (pending-queue exit) to Tail
+    /// delivery. Recorded back-to-back with packet_latency for the same
+    /// packet, so sample i satisfies
+    /// source_q_latency[i] + net_latency[i] == packet_latency[i] exactly.
+    stats::LatencyStats net_latency;
+    /// Source-queueing latency: packet creation at the NI to tx injection.
+    stats::LatencyStats source_q_latency;
+    /// High-water mark of any single master NI's pending-packet queue
+    /// (complete packets). Reaching the configured pending_limit means the
+    /// open-loop source itself was backpressured — a saturation signal.
+    u64 pending_peak = 0;
+    /// Cycle the last Tail was delivered (either NI side). The open-loop
+    /// drain runs past the generators' halt cycles, so this — not the
+    /// masters' halt — is the honest end-of-run time base.
+    Cycle last_delivery = 0;
 };
 
 class XpipesNetwork final : public Interconnect {
@@ -130,6 +148,10 @@ public:
         // retry timers in the master NIs are the only recovery signal —
         // the network must stay clocked while any transaction is pending.
         if (fault_on_ && pending_txns_ > 0) return 0;
+        // Open-loop mode: packets parked in NI pending queues are outside
+        // flits_active_ (router FIFOs + tx), but the NIs must keep draining
+        // them even after every generator has halted.
+        if (open_backlog_ > 0) return 0;
         return (!any_activity_ && flits_active_ == 0) ? sim::kQuietForever : 0;
     }
     /// Keeps the local cycle counter (latency stamps) aligned with kernel
@@ -142,11 +164,25 @@ public:
     // asserting a command at one of the master NIs.
 
     [[nodiscard]] const XpipesStats& stats() const noexcept { return stats_; }
-    /// Pre-sizes the latency sample store (no-op unless collect_latency).
+    /// Switches the master NIs into open-loop source mode (docs/traffic.md):
+    /// accepted commands are packetized into a bounded per-NI pending queue
+    /// and injected as the fabric drains, read responses are absorbed at the
+    /// NI, and packet latency is decomposed into source-queueing vs
+    /// in-network series. Called once by the platform loader (the
+    /// tg::SourceConfig surface) before the first eval(). `max_outstanding`
+    /// bounds in-flight reads per NI (0 = unbounded); `pending_limit` >= 1
+    /// bounds the pending queue. Mutually exclusive with fault injection.
+    void configure_open_source(u32 max_outstanding, u32 pending_limit);
+    /// Pre-sizes the latency sample stores (no-op unless collect_latency).
     /// Loaders that know the run's transaction budget call this once so the
     /// per-packet record() path never reallocates mid-simulation.
     void reserve_latency(u64 n_samples) {
-        if (cfg_.collect_latency) stats_.packet_latency.reserve(n_samples);
+        if (!cfg_.collect_latency) return;
+        stats_.packet_latency.reserve(n_samples);
+        if (open_) {
+            stats_.net_latency.reserve(n_samples);
+            stats_.source_q_latency.reserve(n_samples);
+        }
     }
     [[nodiscard]] u64 busy_cycles() const override { return stats_.busy_cycles; }
     [[nodiscard]] u64 contention_cycles() const override;
@@ -178,10 +214,15 @@ private:
         /// stable across retries, echoed by the response/ack so master NIs
         /// can filter stale responses and slave NIs can dedupe replays.
         u16 seq = 0;
-        /// Cycle the packet's head was created at the source NI (latency
-        /// stamping, docs/traffic.md). Also copied onto the packet's Tail
-        /// flit so the sample is taken when delivery completes.
+        /// Cycle the packet entered the network proper (left the NI pending
+        /// queue for the tx queue). Also copied onto the packet's Tail flit
+        /// so the sample is taken when delivery completes.
         Cycle inject = 0;
+        /// Cycle the packet was created at the source NI (the OCP command
+        /// was accepted). In closed-loop mode creation and injection
+        /// coincide, so created == inject everywhere; in open-loop mode the
+        /// difference is the source-queueing latency (docs/traffic.md).
+        Cycle created = 0;
     };
 
     struct Flit {
@@ -257,9 +298,23 @@ private:
         u16 beats = 0;     ///< accepted write beats
         u16 resp_sent = 0; ///< response beats forwarded to the master
         bool err = false;  ///< decode failure: synthesize ERR beats
-        Cycle inject = 0;  ///< head-creation stamp of the packet in flight
+        Cycle inject = 0;  ///< injection stamp of the packet in flight
+        Cycle created = 0; ///< creation stamp of the packet in flight
         std::deque<Flit> tx;   ///< flits awaiting injection (plane 0)
         std::deque<RxBeat> rx; ///< response beats received
+
+        // --- open-loop source state (docs/traffic.md); untouched in
+        // closed-loop mode ---
+        /// Complete packets (Head..Tail back-to-back) built at the offered
+        /// rate and awaiting their turn in tx. Bounded by the configured
+        /// pending_limit; a full queue stalls the source (the stall shows
+        /// up in master_wait_cycles).
+        std::deque<Flit> pending;
+        u16 pending_tails = 0; ///< complete packets in `pending`
+        /// Read packets in flight (injected, response Tail not yet back).
+        /// Posted writes never count. Bounds tx hand-off when the
+        /// configured max_outstanding is nonzero.
+        u32 outstanding = 0;
 
         // --- fault-mode recovery state (docs/faults.md) ---
         std::vector<Flit> pkt_copy; ///< retained request for replay; empty
@@ -328,11 +383,12 @@ private:
         u32 corrupt_mask = 0;
     };
 
-    /// Tail flit carrying its packet's inject stamp (latency sampling at
-    /// delivery).
-    [[nodiscard]] static Flit make_tail(Cycle inject) noexcept {
+    /// Tail flit carrying its packet's creation and injection stamps
+    /// (latency sampling at delivery).
+    [[nodiscard]] static Flit make_tail(Cycle created, Cycle inject) noexcept {
         Flit f;
         f.kind = Flit::Kind::Tail;
+        f.hdr.created = created;
         f.hdr.inject = inject;
         return f;
     }
@@ -350,6 +406,19 @@ private:
 
     void eval_master_ni(MasterNi& ni);
     void eval_slave_ni(SlaveNi& ni);
+    // --- open-loop source helpers (only called when open_) ---
+    /// Accepts one OCP command beat into the NI's pending queue at the
+    /// offered rate (or stalls the source when the queue is full).
+    void open_accept(MasterNi& ni);
+    /// Seals the packet being built in `pending` (its Tail was just pushed).
+    void open_seal_packet(MasterNi& ni);
+    /// Hands the oldest complete pending packet to tx (restamping inject to
+    /// now) when tx is empty and the outstanding bound allows.
+    void open_drain_pending(MasterNi& ni);
+    /// Tail-delivery latency sampling shared by both NI sides: end-to-end
+    /// always; plus the source-queueing / in-network decomposition and the
+    /// last-delivery stamp in open-loop mode.
+    void record_delivery(const Flit& tail);
     void eval_routers();
     void collect_router_moves(std::size_t r);
     void inject(std::deque<Flit>& tx, u16 node, int port, int plane);
@@ -401,6 +470,13 @@ private:
     /// (delivered / Err-reported / lost). Keeps quiet_for() at 0 so retry
     /// timers fire even when a drop left no flits in flight.
     u32 pending_txns_ = 0;
+    // --- open-loop source mode (configure_open_source, docs/traffic.md) ---
+    bool open_ = false;
+    u32 open_max_out_ = 0;       ///< per-NI in-flight read bound, 0 = none
+    u32 open_pending_limit_ = 64; ///< per-NI pending-packet queue bound
+    /// Complete packets parked across all NI pending queues; keeps
+    /// quiet_for() at 0 until the backlog drains. Always 0 in closed mode.
+    u32 open_backlog_ = 0;
     AddressMap map_;
     std::vector<Router> routers_;
     std::vector<MasterNi> masters_;

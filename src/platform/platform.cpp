@@ -151,14 +151,33 @@ void Platform::load_tg_binaries(const std::vector<tg::AssembledTg>& binaries,
 
 void Platform::load_stochastic(const std::vector<tg::StochasticConfig>& configs,
                                const apps::Workload& context) {
+    load_stochastic(configs, context, tg::SourceConfig{});
+}
+
+void Platform::load_stochastic(const std::vector<tg::StochasticConfig>& configs,
+                               const apps::Workload& context,
+                               const tg::SourceConfig& source) {
     if (!cpus_.empty() || !tgs_.empty() || !stochs_.empty())
         throw std::logic_error{"Platform: masters already loaded"};
     if (configs.size() != cfg_.n_cores)
         throw std::invalid_argument{"Platform: stochastic config count mismatch"};
+    if (source.open() && cfg_.ic != IcKind::Xpipes)
+        throw std::invalid_argument{
+            "Platform: open-loop sources need the xpipes fabric"};
     apply_images(context, /*load_code=*/false);
+    source_ = source;
+    if (source.open()) {
+        // configure_open_source validates pending_limit and rejects the
+        // fault-injection combination before any master exists.
+        auto* mesh = dynamic_cast<ic::XpipesNetwork*>(ic_.get());
+        mesh->configure_open_source(source.max_outstanding,
+                                    source.pending_limit);
+    }
     for (u32 i = 0; i < cfg_.n_cores; ++i) {
+        tg::StochasticConfig c = configs[i];
+        c.open_loop = source.open(); // the source mode is authoritative
         stochs_.push_back(
-            std::make_unique<tg::StochasticTg>(master_ch_[i], configs[i]));
+            std::make_unique<tg::StochasticTg>(master_ch_[i], std::move(c)));
         kernel_.add(*stochs_.back(), sim::kStageMaster,
                     "stg" + std::to_string(i));
     }
@@ -207,6 +226,13 @@ bool Platform::all_done() const {
     if (cfg_.ic == IcKind::Xpipes && cfg_.xpipes.fault.enabled() &&
         ic_->quiet_for() == 0)
         return false;
+    // Open-loop mode: the generators halt as soon as they have *offered*
+    // their budget; the NI pending queues and the network itself may still
+    // hold most of it. Drain completely (quiet_for() is 0 while any packet
+    // is pending or in flight), or throughput would be measured against a
+    // truncated run.
+    if (source_.open() && cfg_.ic == IcKind::Xpipes && ic_->quiet_for() == 0)
+        return false;
     return true;
 }
 
@@ -234,6 +260,14 @@ RunResult Platform::run(Cycle max_cycles) {
         }
         res.per_core.push_back(hc);
         res.cycles = std::max(res.cycles, hc);
+    }
+    // Open-loop runs end when the last packet delivers, not when the last
+    // generator halts — the halt only marks the end of *offering*. Using
+    // the delivery time keeps accepted-rate denominators honest.
+    if (source_.open() && cfg_.ic == IcKind::Xpipes) {
+        if (const auto* mesh =
+                dynamic_cast<const ic::XpipesNetwork*>(ic_.get()))
+            res.cycles = std::max(res.cycles, mesh->stats().last_delivery);
     }
     if (!completed) res.cycles = kernel_.now();
     for (u32 i = 0; i < traces_.size(); ++i)

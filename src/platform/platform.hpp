@@ -27,6 +27,7 @@
 #include "ocp/monitor.hpp"
 #include "platform/memory_map.hpp"
 #include "tg/program.hpp"
+#include "tg/source.hpp"
 #include "tg/stochastic.hpp"
 #include "tg/tg_core.hpp"
 #include "tg/trace.hpp"
@@ -123,9 +124,20 @@ public:
                           const apps::Workload& context);
 
     /// Instantiates stochastic traffic generators (the related-work baseline
-    /// of paper Sec. 2); one config per core.
+    /// of paper Sec. 2); one config per core. Equivalent to the SourceConfig
+    /// overload with the default (closed-loop) source.
     void load_stochastic(const std::vector<tg::StochasticConfig>& configs,
                          const apps::Workload& context);
+
+    /// The tg::SourceConfig surface (docs/traffic.md): same generators, with
+    /// the source mode applied uniformly. SourceMode::Closed takes exactly
+    /// the legacy path; SourceMode::Open additionally switches the ×pipes
+    /// master NIs into open-loop pending-queue injection (xpipes fabric
+    /// only, mutually exclusive with fault injection) and extends the run
+    /// until the network backlog drains.
+    void load_stochastic(const std::vector<tg::StochasticConfig>& configs,
+                         const apps::Workload& context,
+                         const tg::SourceConfig& source);
 
     /// Runs until every master halts or `max_cycles` elapse.
     [[nodiscard]] RunResult run(Cycle max_cycles);
@@ -170,6 +182,10 @@ private:
     [[nodiscard]] bool all_done() const;
 
     PlatformConfig cfg_;
+    /// Source mode for stochastic masters (closed unless the SourceConfig
+    /// overload of load_stochastic asked for open) — drives the open-loop
+    /// drain condition in all_done() and the cycle accounting in run().
+    tg::SourceConfig source_{};
     sim::Kernel kernel_;
     /// Structure-of-arrays store owning all wire state: masters first (so
     /// the fabrics' arbitration and gen scans sweep one contiguous run),

@@ -42,6 +42,12 @@ public:
     void reserve(u64 n) { samples_.reserve(n); }
 
     [[nodiscard]] u64 count() const noexcept { return samples_.size(); }
+    /// Raw samples in record() order. Series recorded in lock-step (the
+    /// open-loop source-queue / in-network split) zip per packet: sample i
+    /// of each series belongs to the same delivery.
+    [[nodiscard]] const std::vector<u64>& samples() const noexcept {
+        return samples_;
+    }
     [[nodiscard]] u64 min() const noexcept { return min_; }
     [[nodiscard]] u64 max() const noexcept { return max_; }
     [[nodiscard]] u64 sum() const noexcept { return sum_; }

@@ -391,6 +391,22 @@ bool row_from_json(const Json& j, SweepResult* r, std::string* error) {
             !want_u64(j, "lat_max", &r->lat_max, error))
             return false;
     }
+    if (j.find("pending_limit") != nullptr) {
+        r->has_open = true;
+        if (!want_u64(j, "pending_limit", &r->pending_limit, error) ||
+            !want_u64(j, "pending_peak", &r->pending_peak, error) ||
+            !want_u64(j, "net_lat_count", &r->net_lat_count, error) ||
+            !want_double(j, "net_lat_mean", &r->net_lat_mean, error) ||
+            !want_u64(j, "net_lat_p50", &r->net_lat_p50, error) ||
+            !want_u64(j, "net_lat_p99", &r->net_lat_p99, error) ||
+            !want_u64(j, "net_lat_max", &r->net_lat_max, error) ||
+            !want_u64(j, "sq_lat_count", &r->sq_lat_count, error) ||
+            !want_double(j, "sq_lat_mean", &r->sq_lat_mean, error) ||
+            !want_u64(j, "sq_lat_p50", &r->sq_lat_p50, error) ||
+            !want_u64(j, "sq_lat_p99", &r->sq_lat_p99, error) ||
+            !want_u64(j, "sq_lat_max", &r->sq_lat_max, error))
+            return false;
+    }
     if (j.find("analytic") != nullptr) {
         if (!want_bool(j, "analytic", &r->analytic, error) ||
             !want_double(j, "predicted_saturation", &r->predicted_saturation,

@@ -77,7 +77,18 @@ bool bit_identical(const SweepResult& a, const SweepResult& b) {
            a.error_packets == b.error_packets &&
            a.lat_count == b.lat_count && a.lat_mean == b.lat_mean &&
            a.lat_p50 == b.lat_p50 && a.lat_p99 == b.lat_p99 &&
-           a.lat_max == b.lat_max && a.analytic == b.analytic &&
+           a.lat_max == b.lat_max && a.has_open == b.has_open &&
+           a.pending_limit == b.pending_limit &&
+           a.pending_peak == b.pending_peak &&
+           a.net_lat_count == b.net_lat_count &&
+           a.net_lat_mean == b.net_lat_mean &&
+           a.net_lat_p50 == b.net_lat_p50 &&
+           a.net_lat_p99 == b.net_lat_p99 &&
+           a.net_lat_max == b.net_lat_max &&
+           a.sq_lat_count == b.sq_lat_count &&
+           a.sq_lat_mean == b.sq_lat_mean && a.sq_lat_p50 == b.sq_lat_p50 &&
+           a.sq_lat_p99 == b.sq_lat_p99 && a.sq_lat_max == b.sq_lat_max &&
+           a.analytic == b.analytic &&
            a.predicted_saturation == b.predicted_saturation &&
            a.has_faults == b.has_faults &&
            a.fault_injected == b.fault_injected &&
@@ -198,6 +209,12 @@ std::vector<Candidate> make_grid(const GridSpec& spec) {
 
 std::vector<Candidate> make_rate_sweep(const platform::PlatformConfig& base,
                                        const std::vector<double>& rates) {
+    return make_rate_sweep(base, rates, tg::SourceConfig{});
+}
+
+std::vector<Candidate> make_rate_sweep(const platform::PlatformConfig& base,
+                                       const std::vector<double>& rates,
+                                       const tg::SourceConfig& source) {
     std::vector<Candidate> out;
     out.reserve(rates.size());
     for (const double rate : rates) {
@@ -205,6 +222,8 @@ std::vector<Candidate> make_rate_sweep(const platform::PlatformConfig& base,
         c.cfg = base;
         c.cfg.xpipes.collect_latency = true;
         c.injection_rate = rate;
+        c.source = source;
+        c.source.rate = rate; // the ladder point is the offered rate
         char buf[32];
         std::snprintf(buf, sizeof buf, "rate=%.4f", rate);
         c.name = buf;
@@ -220,34 +239,52 @@ SaturationPoint find_saturation(const std::vector<SweepResult>& rate_ordered) {
     double best_accepted = -1.0;
     u32 best_index = 0;
     const SweepResult* prev = nullptr;
+    // Which latency series defines the curve: end-to-end for closed-loop
+    // rows, in-network for open-loop rows (their end-to-end mean is
+    // dominated by source queueing past the knee, which would hide the
+    // knee's position).
+    const auto curve_lat = [](const SweepResult& r) {
+        return r.has_open ? r.net_lat_mean : r.lat_mean;
+    };
     for (u32 i = 0; i < rate_ordered.size(); ++i) {
         const SweepResult& r = rate_ordered[i];
         if (!r.ok() || !r.has_latency || r.lat_count == 0) continue;
+        const double lat = curve_lat(r);
         if (!have_zero_load) {
-            zero_load = r.lat_mean;
+            zero_load = lat;
             have_zero_load = true;
         }
         if (r.accepted_rate > best_accepted) {
             best_accepted = r.accepted_rate;
             best_index = i;
         }
-        // Saturated when latency has left the flat region of the curve, or
-        // when pushing noticeably more offered load no longer buys
-        // accepted throughput (the plateau). Offered-vs-accepted shortfall
-        // alone is NOT a signal: the closed-loop generator sheds load
-        // whenever 1/rate approaches its own service time, long before the
-        // mesh is stressed (docs/traffic.md).
-        const bool latency_blowup =
-            zero_load > 0.0 && r.lat_mean >= 3.0 * zero_load;
+        // Saturated when latency has left the flat region of the curve —
+        // or, for open-loop rows, when a pending queue reached its bound
+        // (the source itself was backpressured; catches ladders that jump
+        // straight past the knee, including an immediately saturated first
+        // point). Closed-loop rows add the plateau trigger: noticeably
+        // more offered load buying no accepted throughput. That trigger is
+        // RETIRED for open-loop rows — an open source cannot load-shed, so
+        // a flattening accepted rate there IS network saturation and the
+        // real signals above report it; keeping the plateau would just
+        // re-label the same point with a weaker reason. (Closed-loop
+        // offered-vs-accepted shortfall alone is NOT a signal either way:
+        // the closed generator sheds load whenever 1/rate approaches its
+        // own service time, long before the mesh is stressed —
+        // docs/traffic.md.)
+        const bool latency_blowup = zero_load > 0.0 && lat >= 3.0 * zero_load;
+        const bool queue_full = r.has_open && r.pending_limit > 0 &&
+                                r.pending_peak >= r.pending_limit;
         const bool plateau =
-            prev != nullptr && r.offered_rate >= 1.25 * prev->offered_rate &&
+            !r.has_open && prev != nullptr &&
+            r.offered_rate >= 1.25 * prev->offered_rate &&
             r.accepted_rate <= prev->accepted_rate * 1.08;
-        if (latency_blowup || plateau) {
+        if (latency_blowup || queue_full || plateau) {
             sat.found = true;
             sat.index = i;
             sat.offered = r.offered_rate;
             sat.throughput = best_accepted; // knee: best rate seen so far
-            sat.mean_latency = r.lat_mean;
+            sat.mean_latency = lat;
             return sat;
         }
         prev = &r;
@@ -258,7 +295,7 @@ SaturationPoint find_saturation(const std::vector<SweepResult>& rate_ordered) {
         sat.index = best_index;
         sat.offered = r.offered_rate;
         sat.throughput = best_accepted;
-        sat.mean_latency = r.lat_mean;
+        sat.mean_latency = curve_lat(r);
     }
     return sat;
 }
@@ -391,6 +428,28 @@ void append_result_row(std::string& out, const SweepResult& r) {
                static_cast<unsigned long long>(r.lat_p99),
                static_cast<unsigned long long>(r.lat_max));
     }
+    if (r.has_open) {
+        append(out, ", \"pending_limit\": %llu, \"pending_peak\": %llu",
+               static_cast<unsigned long long>(r.pending_limit),
+               static_cast<unsigned long long>(r.pending_peak));
+        append(out,
+               ", \"net_lat_count\": %llu, \"net_lat_mean\": %.4f"
+               ", \"net_lat_p50\": %llu, \"net_lat_p99\": %llu"
+               ", \"net_lat_max\": %llu",
+               static_cast<unsigned long long>(r.net_lat_count),
+               r.net_lat_mean,
+               static_cast<unsigned long long>(r.net_lat_p50),
+               static_cast<unsigned long long>(r.net_lat_p99),
+               static_cast<unsigned long long>(r.net_lat_max));
+        append(out,
+               ", \"sq_lat_count\": %llu, \"sq_lat_mean\": %.4f"
+               ", \"sq_lat_p50\": %llu, \"sq_lat_p99\": %llu"
+               ", \"sq_lat_max\": %llu",
+               static_cast<unsigned long long>(r.sq_lat_count), r.sq_lat_mean,
+               static_cast<unsigned long long>(r.sq_lat_p50),
+               static_cast<unsigned long long>(r.sq_lat_p99),
+               static_cast<unsigned long long>(r.sq_lat_max));
+    }
     if (r.analytic)
         append(out, ", \"analytic\": true, \"predicted_saturation\": %.6f",
                r.predicted_saturation);
@@ -514,16 +573,17 @@ SweepResult SweepDriver::evaluate(const Candidate& cand, u32 index,
             tg::PatternConfig pc = *pattern_;
             if (cand.injection_rate > 0.0)
                 pc.injection_rate = cand.injection_rate;
-            tg::make_pattern_configs(pc, scratch.configs);
+            tg::compile_patterns(pc, cand.source, scratch.configs);
             for (u32 core = 0; core < n_cores_; ++core)
                 scratch.configs[core].seed = derive_seed(opts.seed, index, core);
-            p.load_stochastic(scratch.configs, context_);
-            r.offered_rate = pc.injection_rate;
+            p.load_stochastic(scratch.configs, context_, cand.source);
+            r.offered_rate = cand.source.rate > 0.0 ? cand.source.rate
+                                                    : pc.injection_rate;
         } else {
             scratch.configs = stochastic_; // assignment reuses capacity
             for (u32 core = 0; core < n_cores_; ++core)
                 scratch.configs[core].seed = derive_seed(opts.seed, index, core);
-            p.load_stochastic(scratch.configs, context_);
+            p.load_stochastic(scratch.configs, context_, cand.source);
         }
         const platform::RunResult res = p.run(opts.max_cycles);
         r.completed = res.completed;
@@ -562,6 +622,23 @@ SweepResult SweepDriver::evaluate(const Candidate& cand, u32 index,
                 r.lat_p50 = lat.p50;
                 r.lat_p99 = lat.p99;
                 r.lat_max = lat.max;
+                if (cand.source.open()) {
+                    const auto net = xs.net_latency.summary();
+                    const auto sq = xs.source_q_latency.summary();
+                    r.has_open = true;
+                    r.pending_limit = cand.source.pending_limit;
+                    r.pending_peak = xs.pending_peak;
+                    r.net_lat_count = net.count;
+                    r.net_lat_mean = net.mean;
+                    r.net_lat_p50 = net.p50;
+                    r.net_lat_p99 = net.p99;
+                    r.net_lat_max = net.max;
+                    r.sq_lat_count = sq.count;
+                    r.sq_lat_mean = sq.mean;
+                    r.sq_lat_p50 = sq.p50;
+                    r.sq_lat_p99 = sq.p99;
+                    r.sq_lat_max = sq.max;
+                }
             }
             if (mesh != nullptr && cfg.xpipes.fault.enabled()) {
                 const stats::ReliabilityStats& rel = mesh->stats().reliability;

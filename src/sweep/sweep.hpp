@@ -43,6 +43,13 @@ struct Candidate {
     /// driver: same fabric, one candidate per offered rate
     /// (make_rate_sweep()).
     double injection_rate = 0.0;
+    /// Traffic-source construction surface (docs/traffic.md). The default
+    /// (closed) takes exactly the legacy path, so existing grids and their
+    /// reports are untouched; SourceMode::Open switches the candidate's
+    /// stochastic masters to open-loop injection and adds the
+    /// source-queueing / in-network latency decomposition to the result.
+    /// A nonzero source.rate overrides injection_rate.
+    tg::SourceConfig source;
 };
 
 /// Which evaluator run() applies to the candidate grid (docs/analytic.md).
@@ -188,6 +195,26 @@ struct SweepResult {
     // existing contention_cycles field — the mesh reports exactly its
     // master_wait_cycles sum there.
 
+    /// Open-loop source decomposition (valid when has_open: the candidate
+    /// ran with tg::SourceMode::Open — docs/traffic.md). The end-to-end
+    /// lat_* fields above still cover creation -> delivery; these split
+    /// each packet's life into the in-network part (pending-queue exit ->
+    /// delivery) and the source-queueing part (creation -> pending-queue
+    /// exit). All deterministic — included in bit_identical().
+    bool has_open = false;
+    u64 pending_limit = 0; ///< configured per-NI pending-queue bound
+    u64 pending_peak = 0;  ///< pending-queue high-water mark across NIs
+    u64 net_lat_count = 0;
+    double net_lat_mean = 0.0;
+    u64 net_lat_p50 = 0;
+    u64 net_lat_p99 = 0;
+    u64 net_lat_max = 0;
+    u64 sq_lat_count = 0;
+    double sq_lat_mean = 0.0;
+    u64 sq_lat_p50 = 0;
+    u64 sq_lat_p99 = 0;
+    u64 sq_lat_max = 0;
+
     /// True when this row came from the analytic screening tier rather
     /// than the cycle simulator: cycles/latency fields are *predictions*
     /// (closed-form, deterministic — included in bit_identical()), per_core
@@ -259,13 +286,31 @@ struct GridSpec {
 [[nodiscard]] std::vector<Candidate> make_rate_sweep(
     const platform::PlatformConfig& base, const std::vector<double>& rates);
 
-/// Saturation analysis over rate-ordered results (docs/traffic.md): the
-/// saturation point is the first rate where mean latency exceeds 3x the
-/// zero-load latency (the curve's lowest-rate point), or where >= 25% more
-/// offered load buys <= 8% more accepted throughput (the plateau). The
-/// saturation throughput is the highest accepted rate at or before that
-/// point. When the swept range never saturates, `found` is false and the
-/// fields describe the highest accepted rate observed.
+/// Same ladder under an explicit source mode: each candidate carries
+/// `source` with its rate set to the ladder point (so open-loop ladders
+/// offer the rate regardless of completion). With a closed default source
+/// this is exactly the two-argument form.
+[[nodiscard]] std::vector<Candidate> make_rate_sweep(
+    const platform::PlatformConfig& base, const std::vector<double>& rates,
+    const tg::SourceConfig& source);
+
+/// Saturation analysis over rate-ordered results (docs/traffic.md).
+///
+/// Closed-loop rows: the saturation point is the first rate where mean
+/// end-to-end latency exceeds 3x the zero-load latency (the curve's
+/// lowest-rate point), or where >= 25% more offered load buys <= 8% more
+/// accepted throughput (the plateau).
+///
+/// Open-loop rows (has_open): the plateau trigger is retired — an open
+/// source cannot load-shed, so a flattening accepted rate IS network
+/// saturation and is caught by the real signals instead: in-network mean
+/// latency >= 3x its zero-load value (the hockey-stick knee), or a pending
+/// queue that reached its configured bound (the source itself was
+/// backpressured).
+///
+/// The saturation throughput is the highest accepted rate at or before the
+/// saturation point. When the swept range never saturates, `found` is
+/// false and the fields describe the highest accepted rate observed.
 struct SaturationPoint {
     bool found = false;
     u32 index = 0; ///< index into the rate-ordered results

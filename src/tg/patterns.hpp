@@ -32,6 +32,7 @@
 #include <string_view>
 #include <vector>
 
+#include "tg/source.hpp"
 #include "tg/stochastic.hpp"
 
 namespace tgsim::tg {
@@ -123,5 +124,17 @@ struct DestWeight {
 /// of reallocating one config vector per candidate.
 void make_pattern_configs(const PatternConfig& cfg,
                           std::vector<StochasticConfig>& out);
+
+/// The tg::SourceConfig surface (docs/traffic.md): compiles the pattern
+/// like make_pattern_configs and then applies the source — a nonzero
+/// source.rate overrides cfg.injection_rate (the sweep's offered-rate axis
+/// lives on the source, not on per-pattern copies), and SourceMode::Open
+/// marks every per-core config open-loop. With a default-constructed
+/// source this is exactly make_pattern_configs.
+void compile_patterns(const PatternConfig& cfg, const SourceConfig& source,
+                      std::vector<StochasticConfig>& out);
+
+[[nodiscard]] std::vector<StochasticConfig> compile_patterns(
+    const PatternConfig& cfg, const SourceConfig& source);
 
 } // namespace tgsim::tg

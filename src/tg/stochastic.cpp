@@ -104,7 +104,12 @@ void StochasticTg::update() {
                 }
             } else {
                 if (!req_.accepted && ch_.s_cmd_accept()) req_.accepted = true;
-                if (ch_.s_resp() != ocp::Resp::None) {
+                if (cfg_.open_loop) {
+                    // Open loop: the read completes once the fabric owns the
+                    // command; the NI absorbs the response beats, so the next
+                    // gap starts without waiting for them.
+                    if (req_.accepted) req_.active = false;
+                } else if (ch_.s_resp() != ocp::Resp::None) {
                     ++req_.rbeats;
                     if (ch_.s_resp_last() || req_.rbeats == req_.burst)
                         req_.active = false;

@@ -42,6 +42,12 @@ struct StochasticConfig {
     u32 inter_gap = 200; ///< Bursty: gap between trains
     std::vector<StochasticTarget> targets;
     u64 total_transactions = 1000; ///< halt after this many
+    /// Open-loop source mode (tg::SourceConfig, docs/traffic.md): a
+    /// transaction completes as soon as the fabric accepts its command, so
+    /// the next inter-arrival gap starts immediately and the offered rate
+    /// keeps arriving regardless of in-flight responses. The master NI
+    /// buffers the resulting packets and absorbs read responses.
+    bool open_loop = false;
 };
 
 class StochasticTg final : public sim::Clocked {

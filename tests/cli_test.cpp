@@ -157,6 +157,69 @@ TEST(CliTopologyDeath, BadValuesAreFatalNotDefaulted) {
                 testing::ExitedWithCode(1), "--topology is empty");
 }
 
+cli::OptionSet tiny_set() {
+    using K = cli::OptionSpec::Kind;
+    cli::OptionSet set{"tool", "does things"};
+    set.add({"jobs", K::Number, "N", "1", "workers"})
+        .add({"source", K::Choice, "MODE", "closed", "loop mode",
+              {"closed", "open"}})
+        .add({"json", K::Text, "PATH", "", "report"});
+    return set;
+}
+
+TEST(CliOptionSet, AcceptsDeclaredFlagsAndFindsSpecs) {
+    tiny_set().check_or_help(
+        make_args({"--jobs=4", "--source=open", "--json=out.json"}));
+    EXPECT_NE(tiny_set().find("source"), nullptr);
+    EXPECT_EQ(tiny_set().find("sauce"), nullptr);
+}
+
+TEST(CliOptionSetDeath, UnknownFlagIsFatal) {
+    // A typo like --jobz must not silently run a default sweep for minutes.
+    EXPECT_EXIT(tiny_set().check_or_help(make_args({"--jobz=4"})),
+                testing::ExitedWithCode(1),
+                "tool: unknown option --jobz \\(try --help\\)");
+}
+
+TEST(CliOptionSetDeath, InvalidValuesAreCheckedBeforeAnyWork) {
+    EXPECT_EXIT(tiny_set().check_or_help(make_args({"--jobs=four"})),
+                testing::ExitedWithCode(1), "--jobs: invalid number 'four'");
+    EXPECT_EXIT(tiny_set().check_or_help(make_args({"--source=ajar"})),
+                testing::ExitedWithCode(1),
+                "--source: unknown value 'ajar' \\(valid: closed, open\\)");
+}
+
+TEST(CliOptionSetDeath, HelpPrintsAndExitsZero) {
+    EXPECT_EXIT(tiny_set().check_or_help(make_args({"--help"})),
+                testing::ExitedWithCode(0), "");
+}
+
+TEST(CliSource, DefaultsToClosedAndParsesOpenKnobs) {
+    const tg::SourceConfig def = cli::get_source(make_args({}));
+    EXPECT_EQ(def.mode, tg::SourceMode::Closed);
+    EXPECT_FALSE(def.open());
+    const tg::SourceConfig open = cli::get_source(make_args(
+        {"--source=open", "--max-outstanding=4", "--pending-limit=32"}));
+    EXPECT_TRUE(open.open());
+    EXPECT_EQ(open.max_outstanding, 4u);
+    EXPECT_EQ(open.pending_limit, 32u);
+}
+
+TEST(CliSourceDeath, OpenOnlyKnobsRequireOpenMode) {
+    // Silently ignoring --pending-limit on a closed run would misreport
+    // what the campaign actually swept.
+    EXPECT_EXIT((void)cli::get_source(make_args({"--pending-limit=32"})),
+                testing::ExitedWithCode(1),
+                "--max-outstanding/--pending-limit need --source=open");
+    EXPECT_EXIT((void)cli::get_source(make_args({"--max-outstanding=2"})),
+                testing::ExitedWithCode(1),
+                "--max-outstanding/--pending-limit need --source=open");
+    EXPECT_EXIT((void)cli::get_source(
+                    make_args({"--source=open", "--pending-limit=0"})),
+                testing::ExitedWithCode(1),
+                "--pending-limit: must be nonzero");
+}
+
 TEST(CliCapacityDeath, TooSmallFabricIsAParseTimeError) {
     // 16 cores need 18 nodes (cores + shared memory + semaphores): a 4x4
     // --mesh paired with a 4x4 --grid used to be accepted here and fail

@@ -20,6 +20,7 @@
 #include "platform/platform.hpp"
 #include "sweep/shard.hpp"
 #include "sweep/sweep.hpp"
+#include "tg/source.hpp"
 #include "tg/translator.hpp"
 
 namespace tgsim::cli {
@@ -103,10 +104,136 @@ public:
     [[nodiscard]] const std::vector<std::string>& positional() const {
         return positional_;
     }
+    /// Every parsed "--key[=value]" pair, for the option registry's
+    /// unknown-flag rejection (OptionSet::check_or_help).
+    [[nodiscard]] const std::map<std::string, std::string>& flags() const {
+        return flags_;
+    }
 
 private:
     std::map<std::string, std::string> flags_;
     std::vector<std::string> positional_;
+};
+
+// ---- declarative option registry -------------------------------------
+//
+// Each tool declares its options ONCE — name, value kind, help metavar,
+// default and help line — in an OptionSet, then calls check_or_help(args)
+// before doing any work. The registry supplies the three behaviours no
+// hand-rolled parser kept consistent across tools:
+//   - `--help` rendered from the declarations themselves, so the help
+//     text cannot drift from what the tool actually accepts;
+//   - unknown --flags rejected fatally (a typo like --jobz must not
+//     silently run a default sweep for minutes);
+//   - eager validation of numeric and closed-choice values, before any
+//     simulation starts (same fail-fast contract as the typed getters,
+//     and the same diagnostics — parse_u64_or_die / enum_from formats).
+// Option *semantics* (defaults, cross-flag rules) stay in the typed
+// getters below; the registry is the declaration surface, not a second
+// parser.
+
+struct OptionSpec {
+    /// How check_or_help validates a supplied value. Text covers
+    /// open-ended forms (paths, comma lists, "WxH" specs) that the tool's
+    /// own getter validates with a context-specific diagnostic.
+    enum class Kind : u8 { Flag, Number, Text, Choice };
+    const char* name = "";    ///< flag name without the leading "--"
+    Kind kind = Kind::Text;
+    const char* arg = "";     ///< help metavar, e.g. "N", "WxH", "PATH"
+    const char* fallback = ""; ///< default rendered in help; "" = none
+    const char* help = "";    ///< one-line description
+    std::vector<const char*> choices = {}; ///< Choice: the closed token set
+};
+
+class OptionSet {
+public:
+    OptionSet(std::string tool, std::string summary)
+        : tool_(std::move(tool)), summary_(std::move(summary)) {}
+
+    OptionSet& add(OptionSpec spec) {
+        specs_.push_back(std::move(spec));
+        return *this;
+    }
+
+    [[nodiscard]] const OptionSpec* find(const std::string& name) const {
+        for (const OptionSpec& s : specs_)
+            if (name == s.name) return &s;
+        return nullptr;
+    }
+
+    void print_help(std::FILE* out) const {
+        std::fprintf(out, "usage: %s [options]\n%s\n\noptions:\n",
+                     tool_.c_str(), summary_.c_str());
+        for (const OptionSpec& s : specs_) {
+            std::string head = "  --" + std::string{s.name};
+            if (s.kind != OptionSpec::Kind::Flag) {
+                head += "=";
+                head += s.kind == OptionSpec::Kind::Choice && s.arg[0] == '\0'
+                            ? "VALUE"
+                            : s.arg;
+            }
+            std::string tail = s.help;
+            if (!s.choices.empty()) {
+                tail += " (";
+                for (std::size_t i = 0; i < s.choices.size(); ++i) {
+                    if (i > 0) tail += "|";
+                    tail += s.choices[i];
+                }
+                tail += ")";
+            }
+            if (s.fallback[0] != '\0')
+                tail += std::string{" [default "} + s.fallback + "]";
+            std::fprintf(out, "%-28s %s\n", head.c_str(), tail.c_str());
+        }
+        std::fprintf(out, "%-28s %s\n", "  --help", "show this help");
+    }
+
+    /// `--help` prints the generated help and exits 0; an undeclared flag
+    /// or an invalid Number/Choice value is a fatal usage error. Call
+    /// before any expensive work.
+    void check_or_help(const Args& args) const {
+        if (args.has("help")) {
+            print_help(stdout);
+            std::exit(0);
+        }
+        for (const auto& [name, value] : args.flags()) {
+            const OptionSpec* spec = find(name);
+            if (spec == nullptr) {
+                std::fprintf(stderr, "%s: unknown option --%s (try --help)\n",
+                             tool_.c_str(), name.c_str());
+                std::exit(1);
+            }
+            switch (spec->kind) {
+                case OptionSpec::Kind::Number:
+                    (void)parse_u64_or_die(value, "--" + name);
+                    break;
+                case OptionSpec::Kind::Choice: {
+                    bool ok = false;
+                    std::string valid;
+                    for (const char* c : spec->choices) {
+                        ok |= value == c;
+                        if (!valid.empty()) valid += ", ";
+                        valid += c;
+                    }
+                    if (!ok) {
+                        std::fprintf(stderr,
+                                     "--%s: unknown value '%s' (valid: %s)\n",
+                                     name.c_str(), value.c_str(),
+                                     valid.c_str());
+                        std::exit(1);
+                    }
+                    break;
+                }
+                case OptionSpec::Kind::Flag:
+                case OptionSpec::Kind::Text: break;
+            }
+        }
+    }
+
+private:
+    std::string tool_;
+    std::string summary_;
+    std::vector<OptionSpec> specs_;
 };
 
 /// Builds one of the paper's benchmarks by name.
@@ -257,6 +384,50 @@ inline sweep::ShardSpec get_shard(const Args& args) {
         std::exit(1);
     }
     return *shard;
+}
+
+/// Registers the shared traffic-source flags (docs/traffic.md) on a
+/// tool's option set — declared ONCE here so tgsim_patterns and
+/// tgsim_sweep cannot grow drifting spellings of the source-mode axis:
+///   --source=closed|open     loop mode (default closed: one outstanding
+///                            transaction per core, the pre-open behavior)
+///   --max-outstanding=N      open loop: cap on in-flight read packets per
+///                            master NI (0 = unbounded)
+///   --pending-limit=N        open loop: per-master pending-packet queue
+///                            bound (a full queue stalls the source)
+inline void add_source_options(OptionSet& set) {
+    set.add({"source", OptionSpec::Kind::Choice, "MODE", "closed",
+             "traffic-source loop mode", {"closed", "open"}});
+    set.add({"max-outstanding", OptionSpec::Kind::Number, "N", "0",
+             "open loop: in-flight read packets per master NI cap"
+             " (0 = unbounded)"});
+    set.add({"pending-limit", OptionSpec::Kind::Number, "N", "64",
+             "open loop: per-master pending-packet queue bound"});
+}
+
+/// The parsed tg::SourceConfig for the flags above. Open-only knobs with
+/// --source=closed are a fatal usage error, not silently ignored (the
+/// closed generator is inherently one-outstanding; accepting the flag
+/// would misreport what ran). The offered rate is NOT set here — the
+/// sweep's --rates axis owns it (sweep::make_rate_sweep).
+[[nodiscard]] inline tg::SourceConfig get_source(const Args& args) {
+    tg::SourceConfig s;
+    s.mode = get_enum<tg::SourceMode>(
+        args, "source", "closed",
+        {{"closed", tg::SourceMode::Closed}, {"open", tg::SourceMode::Open}});
+    s.max_outstanding = args.get_u32("max-outstanding", 0);
+    s.pending_limit = args.get_u32("pending-limit", 64);
+    if (!s.open() &&
+        (args.has("max-outstanding") || args.has("pending-limit"))) {
+        std::fprintf(stderr,
+                     "--max-outstanding/--pending-limit need --source=open\n");
+        std::exit(1);
+    }
+    if (s.pending_limit == 0) {
+        std::fprintf(stderr, "--pending-limit: must be nonzero\n");
+        std::exit(1);
+    }
+    return s;
 }
 
 /// Shared fault-injection flags (docs/faults.md), parsed in one place so

@@ -6,8 +6,16 @@
 //                  [--packets=N] [--reads=F] [--burst-frac=F] [--burst-len=N]
 //                  [--hotspot=CORE] [--hotspot-frac=F] [--fifo=N]
 //                  [--topology=mesh|torus|file:PATH]
+//                  [--source=closed|open] [--max-outstanding=N]
+//                  [--pending-limit=N]
 //                  [--fault-rate=R] [--fault-seed=N]
 //                  [--jobs=N] [--json=PATH] [--max-cycles=N]
+//
+// --source picks the loop mode of every traffic source (docs/traffic.md):
+// closed (default) is the paper's one-outstanding-transaction generator;
+// open keeps offering at the configured rate regardless of completions, so
+// the *network* — not the generator — saturates, and every row carries the
+// source-queue / in-network latency split (the hockey-stick curves).
 //
 // --mesh gives the *logical core grid* (n_cores = W*H); the physical ×pipes
 // mesh is laid out row-major with the same width, cores on nodes [0, W*H)
@@ -39,8 +47,52 @@
 
 using namespace tgsim;
 
+namespace {
+
+cli::OptionSet options() {
+    using K = cli::OptionSpec::Kind;
+    cli::OptionSet set{
+        "tgsim-patterns",
+        "synthetic traffic-pattern sweeps with load-latency instrumentation"};
+    set.add({"pattern", K::Choice, "NAME", "uniform_random",
+             "traffic pattern",
+             {"uniform_random", "bit_complement", "transpose", "shuffle",
+              "tornado", "neighbor", "hotspot"}})
+        .add({"mesh", K::Text, "WxH", "4x4", "logical core grid"})
+        .add({"rates", K::Text, "R,R,...",
+              "0.005,0.01,0.02,0.04,0.08,0.16,0.32,0.64,1.0",
+              "offered-rate ladder, strictly ascending"})
+        .add({"process", K::Choice, "NAME", "poisson", "arrival process",
+              {"poisson", "uniform", "bursty"}})
+        .add({"packets", K::Number, "N", "2000", "transactions per core"})
+        .add({"reads", K::Text, "F", "0.5", "read fraction in [0, 1]"})
+        .add({"burst-frac", K::Text, "F", "0",
+              "fraction of transactions that burst"})
+        .add({"burst-len", K::Number, "N", "4", "beats per burst"})
+        .add({"hotspot", K::Number, "CORE", "0", "hotspot destination core"})
+        .add({"hotspot-frac", K::Text, "F", "0.5",
+              "share of traffic aimed at the hotspot"})
+        .add({"fifo", K::Number, "N", "4", "router FIFO depth"})
+        .add({"topology", K::Text, "KIND", "mesh",
+              "fabric topology: mesh|torus|file:PATH"})
+        .add({"fault-rate", K::Text, "R", "0",
+              "total per-flit fault probability in [0, 1]"})
+        .add({"fault-seed", K::Number, "N", "0",
+              "deterministic fault-stream seed"})
+        .add({"jobs", K::Number, "N", "0",
+              "worker threads (0 = one per hardware thread)"})
+        .add({"json", K::Text, "PATH", "", "machine-readable report"})
+        .add({"max-cycles", K::Number, "N", "100000000",
+              "per-candidate cycle budget"});
+    cli::add_source_options(set);
+    return set;
+}
+
+} // namespace
+
 int main(int argc, char** argv) {
     const cli::Args args{argc, argv};
+    options().check_or_help(args);
 
     const std::string pattern_name = args.get("pattern", "uniform_random");
     const auto pattern = tg::parse_pattern(pattern_name);
@@ -119,6 +171,17 @@ int main(int argc, char** argv) {
     const double fault_rate = fault_rates.front();
     const u64 fault_seed = cli::get_fault_seed(args);
 
+    const tg::SourceConfig source = cli::get_source(args);
+    if (source.open() && fault_rate > 0.0) {
+        // The open-loop NI and the fault retry protocol both own the tx
+        // queue; the combination is rejected at configure time, so fail at
+        // parse time with the reason spelled out.
+        std::fprintf(stderr,
+                     "--source=open does not compose with --fault-rate yet "
+                     "(both modes rewrite the master NI send path)\n");
+        return 1;
+    }
+
     const u32 n_cores = pc.width * pc.height;
     const std::string topology_spec = args.get("topology", "mesh");
     const cli::TopologyChoice topo =
@@ -146,14 +209,15 @@ int main(int argc, char** argv) {
     std::vector<sweep::SweepResult> results;
     try {
         const sweep::SweepDriver driver{pc, context};
-        const auto candidates = sweep::make_rate_sweep(base, rates);
+        const auto candidates = sweep::make_rate_sweep(base, rates, source);
         const u32 jobs = sweep::resolve_jobs(opts.jobs, candidates.size());
         std::printf("%s on a %ux%u core grid (%ux%u mesh, fifo %u), "
-                    "%llu packets/core, %s arrivals, %u workers\n\n",
+                    "%llu packets/core, %s arrivals, %s sources, %u workers\n\n",
                     std::string{tg::to_string(pc.pattern)}.c_str(), pc.width,
                     pc.height, base.xpipes.width, base.xpipes.height, fifo,
                     static_cast<unsigned long long>(pc.packets_per_core),
-                    process.c_str(), jobs);
+                    process.c_str(),
+                    std::string{tg::to_string(source.mode)}.c_str(), jobs);
         results = driver.run(candidates, opts);
 
         std::printf("%-12s %10s %10s %9s %8s %8s %8s %10s\n", "candidate",
@@ -198,6 +262,25 @@ int main(int argc, char** argv) {
             }
         }
 
+        if (source.open()) {
+            // The open-loop split: in-network latency is the saturation
+            // signal; source-queue latency shows where offered load waits.
+            std::printf("\n%-12s %10s %8s %8s %10s %10s %9s\n", "candidate",
+                        "net mean", "net p50", "net p99", "srcq mean",
+                        "srcq p99", "pend pk");
+            for (const sweep::SweepResult& r : results) {
+                if (!r.ok() || !r.has_open) continue;
+                std::printf(
+                    "%-12s %10.1f %8llu %8llu %10.1f %10llu %9llu\n",
+                    r.name.c_str(), r.net_lat_mean,
+                    static_cast<unsigned long long>(r.net_lat_p50),
+                    static_cast<unsigned long long>(r.net_lat_p99),
+                    r.sq_lat_mean,
+                    static_cast<unsigned long long>(r.sq_lat_p99),
+                    static_cast<unsigned long long>(r.pending_peak));
+            }
+        }
+
         const sweep::SaturationPoint sat = sweep::find_saturation(results);
         if (sat.found)
             std::printf("\nsaturation at offered %.4f: throughput %.4f "
@@ -212,6 +295,11 @@ int main(int argc, char** argv) {
         if (!json.empty()) {
             sweep::SweepMeta meta;
             meta.app = context.name + " " + mesh_spec;
+            // Source mode is campaign identity (docs/traffic.md): open and
+            // closed shards must never merge or resume into each other.
+            // describe() is empty for closed sources, so pre-open reports
+            // stay byte-identical.
+            meta.app += tg::describe(source);
             if (topo.kind != ic::TopologyKind::Mesh) {
                 // Topology is campaign identity (docs/topology.md); mesh
                 // runs keep the pre-topology app string byte-identical.

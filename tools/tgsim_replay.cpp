@@ -19,8 +19,38 @@
 
 using namespace tgsim;
 
+namespace {
+
+cli::OptionSet options() {
+    using K = cli::OptionSpec::Kind;
+    cli::OptionSet set{"tgsim-replay",
+                       "replay .tgp programs on a TG platform (a "
+                       "one-candidate sweep); positional args are the "
+                       "per-core program files"};
+    // No --source axis here: a translated trace replays a closed-loop
+    // execution by construction (its gaps encode the recorded
+    // dependencies), so open-loop injection is a pattern-mode concept.
+    set.add({"ic", K::Choice, "KIND", "amba", "interconnect",
+             {"amba", "crossbar", "xpipes"}})
+        .add({"app", K::Choice, "NAME", "",
+              "benchmark environment + result checks",
+              {"cacheloop", "sp_matrix", "mp_matrix", "des"}})
+        .add({"cores", K::Number, "N", "", "benchmark core count"})
+        .add({"size", K::Number, "N", "", "benchmark problem size"})
+        .add({"no-skip", K::Flag, "", "",
+              "fully clocked kernel (paper-faithful costs)"})
+        .add({"jobs", K::Number, "N", "1", "accepted for symmetry; replay"
+              " is a single candidate"})
+        .add({"json", K::Text, "PATH", "", "machine-readable report"})
+        .add({"max-cycles", K::Number, "N", "600000000", "cycle budget"});
+    return set;
+}
+
+} // namespace
+
 int main(int argc, char** argv) {
     const cli::Args args{argc, argv};
+    options().check_or_help(args);
     if (args.positional().empty()) {
         std::fprintf(stderr, "usage: tgsim-replay <tgp files> --ic=...\n");
         return 1;

@@ -22,6 +22,8 @@
 //               [--mesh=...] [--fifo=...] [--packets=N]
 //               [--topology=mesh,torus,file:PATH]
 //               [--fault-rate=0,0.001,...] [--fault-seed=N]
+//               [--source=closed|open] [--max-outstanding=N]
+//               [--pending-limit=N]
 //               [--tier=cycle|analytic|funnel] [--funnel-top=K]
 //
 // The candidate grid is every --mesh × --topology × --fifo × --rates ×
@@ -43,6 +45,13 @@
 // predictions (plus any fabric outside the model), which is the route to
 // very large grids. Funnel survivor rows are bit-identical to an all-cycle
 // run at any --jobs. Analytic/funnel tiers require --pattern.
+// --source=open switches every candidate to open-loop sources
+// (docs/traffic.md): offered load keeps arriving regardless of
+// completions, rows carry the source-queue / in-network latency split, and
+// the mode folds into the campaign identity so open and closed shards
+// never merge or resume into each other. The analytic tier scores open
+// candidates without the closed-loop fixed point (carried rate =
+// min(offered, predicted saturation)).
 //
 // Distributed-campaign flags, both modes (docs/sweep.md):
 //
@@ -69,6 +78,59 @@
 using namespace tgsim;
 
 namespace {
+
+cli::OptionSet options() {
+    using K = cli::OptionSpec::Kind;
+    cli::OptionSet set{"tgsim-sweep",
+                       "parallel design-space exploration driver; --pattern "
+                       "switches to synthetic-traffic pattern mode"};
+    set.add({"app", K::Choice, "NAME", "mp_matrix", "traced benchmark",
+             {"cacheloop", "sp_matrix", "mp_matrix", "des"}})
+        .add({"cores", K::Number, "N", "6", "benchmark core count"})
+        .add({"size", K::Number, "N", "", "benchmark problem size"})
+        .add({"pattern", K::Choice, "NAME", "",
+              "synthetic pattern payload (enables pattern mode)",
+              {"uniform_random", "bit_complement", "transpose", "shuffle",
+               "tornado", "neighbor", "hotspot"}})
+        .add({"grid", K::Text, "WxH", "4x4",
+              "pattern mode: logical core grid"})
+        .add({"rates", K::Text, "R,R,...", "0.01,0.02,0.04,0.08",
+              "pattern mode: offered-rate axis, strictly ascending"})
+        .add({"packets", K::Number, "N", "2000",
+              "pattern mode: transactions per core"})
+        .add({"mesh", K::Text, "SPEC,...", "",
+              "candidate mesh shapes (auto|WxH)"})
+        .add({"fifo", K::Text, "N,...", "4", "candidate FIFO depths"})
+        .add({"topology", K::Text, "KIND,...", "mesh",
+              "candidate topologies: mesh|torus|file:PATH"})
+        .add({"fault-rate", K::Text, "R,...", "0",
+              "fault-probability axis in [0, 1]"})
+        .add({"fault-seed", K::Number, "N", "0",
+              "deterministic fault-stream seed"})
+        .add({"tier", K::Choice, "NAME", "cycle", "evaluator tier",
+              {"cycle", "analytic", "funnel"}})
+        .add({"funnel-top", K::Number, "K", "16",
+              "funnel tier: cycle-simulated survivor budget"})
+        .add({"shard", K::Text, "k/N", "",
+              "evaluate only candidates with index % N == k"})
+        .add({"checkpoint", K::Text, "FILE", "",
+              "append completed rows to an fsync'd JSONL journal"})
+        .add({"resume", K::Flag, "", "", "continue a journaled campaign"})
+        .add({"deterministic", K::Flag, "", "",
+              "emit the canonical report form (byte-comparable)"})
+        .add({"progress", K::Flag, "", "", "periodic progress line on stderr"})
+        .add({"no-fixed-prio", K::Flag, "", "",
+              "also sweep round-robin AMBA arbitration"})
+        .add({"cpu-truth", K::Flag, "", "",
+              "add the cycle-true ground-truth column (slow)"})
+        .add({"jobs", K::Number, "N", "0",
+              "worker threads (0 = one per hardware thread)"})
+        .add({"json", K::Text, "PATH", "", "machine-readable report"})
+        .add({"max-cycles", K::Number, "N", "100000000",
+              "per-candidate cycle budget"});
+    cli::add_source_options(set);
+    return set;
+}
 
 /// Campaign state shared by both modes: the open checkpoint journal (if
 /// any) and the rows a previous attempt already evaluated.
@@ -193,6 +255,17 @@ int run_pattern_mode(const cli::Args& args) {
     bool any_fault = false;
     for (const double fr : fault_rates) any_fault |= fr > 0.0;
 
+    // Source-mode axis (docs/traffic.md): one mode for the whole campaign
+    // — it folds into the identity below, so open and closed shards can
+    // never merge or resume into each other.
+    const tg::SourceConfig source = cli::get_source(args);
+    if (source.open() && any_fault) {
+        std::fprintf(stderr,
+                     "--source=open does not compose with --fault-rate yet "
+                     "(both modes rewrite the master NI send path)\n");
+        return 1;
+    }
+
     // Topology axis (docs/topology.md): graph files load and validate here,
     // before any simulation, and all workers share the parsed spec.
     const std::vector<cli::TopologyChoice> topologies =
@@ -242,6 +315,8 @@ int run_pattern_mode(const cli::Args& args) {
                         c.cfg.xpipes.fault =
                             cli::make_fault(frate, fault_seed);
                         c.injection_rate = rate;
+                        c.source = source;
+                        c.source.rate = rate;
                         // describe_fabric appends the fault axis itself
                         // when it is enabled, so zero-fault names are
                         // unchanged.
@@ -276,6 +351,9 @@ int run_pattern_mode(const cli::Args& args) {
         // header and every merge/resume compatibility check agree on.
         sweep::SweepMeta meta;
         meta.app = context.name + " " + grid_spec;
+        // describe() is empty for closed sources, so pre-open campaign
+        // identities (and their journals) stay byte-identical.
+        meta.app += tg::describe(source);
         if (any_fault) {
             // The fault axis is campaign identity: shard merges and journal
             // resumes must never mix reports with different fault levels.
@@ -367,10 +445,18 @@ int run_pattern_mode(const cli::Args& args) {
 
 int main(int argc, char** argv) {
     const cli::Args args{argc, argv};
+    options().check_or_help(args);
     // Tier flags validate eagerly in both modes (fail-fast contract).
     const sweep::Tier tier = cli::get_tier(args);
     (void)cli::get_funnel_top(args);
     if (args.has("pattern")) return run_pattern_mode(args);
+    if (cli::get_source(args).open()) {
+        std::fprintf(stderr,
+                     "--source=open needs a pattern payload; add "
+                     "--pattern=NAME (traced TG programs replay a closed-"
+                     "loop execution by construction)\n");
+        return 1;
+    }
     if (tier != sweep::Tier::Cycle) {
         std::fprintf(stderr,
                      "--tier=%s needs a pattern payload; add --pattern=NAME "
